@@ -1,0 +1,99 @@
+// Substrate sanity: the communication fabric's point-to-point and
+// collective costs, with and without the Myrinet-calibrated latency
+// model.  The modeled numbers should track the model (alpha + bytes/beta);
+// the free numbers measure the simulator's own overhead, which must stay
+// well below the modeled costs for the sort benches to be meaningful.
+#include "comm/cluster.hpp"
+#include "util/latency.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace fg;
+
+void BM_SendRecv(benchmark::State& state, bool modeled) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  comm::Fabric fabric(2, modeled ? util::LatencyModel::of(50, 240)
+                                 : util::LatencyModel::free());
+  std::vector<std::byte> payload(bytes), sink(bytes);
+  for (auto _ : state) {
+    fabric.send(0, 1, 1, payload);
+    fabric.recv(1, 0, 1, sink);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) * state.iterations());
+}
+
+void BM_PingPongThreads(benchmark::State& state) {
+  // Realistic two-thread ping-pong through the fabric (no model).
+  comm::Fabric fabric(2);
+  std::vector<std::byte> ball(64);
+  const int n = 2000;
+  for (auto _ : state) {
+    const auto t0 = util::Clock::now();
+    std::thread peer([&] {
+      std::vector<std::byte> b(64);
+      for (int i = 0; i < n; ++i) {
+        fabric.recv(1, 0, 1, b);
+        fabric.send(1, 0, 2, b);
+      }
+    });
+    for (int i = 0; i < n; ++i) {
+      fabric.send(0, 1, 1, ball);
+      fabric.recv(0, 1, 2, ball);
+    }
+    peer.join();
+    state.SetIterationTime(util::to_seconds(util::Clock::now() - t0) /
+                           static_cast<double>(n));
+  }
+  state.SetItemsProcessed(n * state.iterations());
+}
+
+void BM_Alltoall(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t block = 4096;
+  comm::Cluster cluster(p);
+  for (auto _ : state) {
+    const auto t0 = util::Clock::now();
+    cluster.run([&](comm::NodeId me) {
+      std::vector<std::byte> send(block * static_cast<std::size_t>(p));
+      std::vector<std::byte> recv(block * static_cast<std::size_t>(p));
+      for (int round = 0; round < 8; ++round) {
+        cluster.fabric().alltoall(me, send, recv, block);
+      }
+    });
+    state.SetIterationTime(util::to_seconds(util::Clock::now() - t0) / 8.0);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(block) * p * (p - 1) * 8);
+}
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  comm::Cluster cluster(p);
+  for (auto _ : state) {
+    const auto t0 = util::Clock::now();
+    cluster.run([&](comm::NodeId me) {
+      for (int i = 0; i < 64; ++i) cluster.fabric().barrier(me);
+    });
+    state.SetIterationTime(util::to_seconds(util::Clock::now() - t0) / 64.0);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_SendRecv, free, false)
+    ->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_SendRecv, myrinet_model, true)
+    ->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PingPongThreads)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Alltoall)->Arg(4)->Arg(8)->Arg(16)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Barrier)->Arg(4)->Arg(16)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

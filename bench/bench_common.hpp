@@ -1,0 +1,69 @@
+// Shared configuration for the benchmark harnesses.
+//
+// Every figure/table bench reads its scale from the environment so the
+// suite can be run quickly (CI) or at full scale:
+//
+//   FG_BENCH_NODES     cluster size P                    (default 16)
+//   FG_BENCH_RECORDS   ~total 16-byte-records to sort    (default 2 Mi)
+//
+// The default dataset is ~32 MiB — about 1/2000 of the paper's 64 GB —
+// with latency models scaled so passes take seconds instead of minutes.
+// The byte volume is held fixed across record sizes, as in the paper.
+// Shapes (who wins, by what factor) are what we reproduce; see
+// EXPERIMENTS.md.
+#pragma once
+
+#include "sort/experiment.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace fg::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoull(v, nullptr, 10) : def;
+}
+
+inline int bench_nodes() {
+  return static_cast<int>(env_u64("FG_BENCH_NODES", 16));
+}
+
+inline std::uint64_t bench_records() {
+  return env_u64("FG_BENCH_RECORDS", 1ull << 21);
+}
+
+/// The paper's experiment configuration, scaled: P nodes, striped blocks,
+/// pass-1 buffers sized so each node accumulates dozens of sorted runs.
+inline sort::SortConfig figure8_config(std::uint32_t record_bytes) {
+  sort::SortConfig cfg;
+  cfg.nodes = bench_nodes();
+  cfg.record_bytes = record_bytes;
+  // 64 KiB striped blocks and 256 KiB pipeline buffers (in records of the
+  // given size): large enough that transfer dominates seek, as with the
+  // paper's multi-megabyte buffers.
+  cfg.block_records = (4096 * 16) / record_bytes;
+  cfg.buffer_records = (16384 * 16) / record_bytes;
+  cfg.num_buffers = 4;
+  cfg.merge_buffer_records = (4096 * 16) / record_bytes;
+  cfg.merge_num_buffers = 3;
+  cfg.out_buffer_records = (16384 * 16) / record_bytes;
+  cfg.out_num_buffers = 4;
+  cfg.oversample = 128;
+  // Hold the *byte* volume fixed across record sizes, as the paper does
+  // (64 GB total: 4 gigarecords at 16 B, 1 gigarecord at 64 B).
+  cfg.records = sort::csort_compatible_records(
+      bench_records() * 16 / record_bytes, cfg.nodes, cfg.block_records);
+  return cfg;
+}
+
+/// Shared driver for the Figure-8 benches (and the unbalanced-input
+/// extension): run dsort and csort once per distribution with the
+/// paper-calibrated latency profile, print the figure-style table, and
+/// register one google-benchmark entry per (program, distribution) that
+/// reports the measured wall times and per-pass counters.
+int run_figure_bench(const char* figname, std::uint32_t record_bytes,
+                     const std::vector<sort::Distribution>& dists,
+                     const char* paper_note, int argc, char** argv);
+
+}  // namespace fg::bench

@@ -1,0 +1,21 @@
+// Figure 8(a): total and per-pass running times of dsort and csort on
+// 16-byte records across the paper's four key distributions (uniform
+// random, all equal, standard normal, Poisson lambda=1).
+//
+// The paper's result: dsort beats csort on every distribution, taking
+// 74.26%-85.06% of csort's time — its one-fewer-pass advantage outweighs
+// its unbalanced I/O and communication.  This bench regenerates the
+// figure's stacked-bar data (per-pass rows, totals, ratio) at laptop
+// scale; every run's output is verified sorted/permutation before being
+// reported.
+#include "bench_common.hpp"
+
+#include <vector>
+
+int main(int argc, char** argv) {
+  const std::vector<fg::sort::Distribution> dists(
+      std::begin(fg::sort::kFigure8Distributions),
+      std::end(fg::sort::kFigure8Distributions));
+  return fg::bench::run_figure_bench(
+      "fig8a", 16, dists, "paper ratio band: 74.26%-85.06%", argc, argv);
+}

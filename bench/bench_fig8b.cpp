@@ -1,0 +1,17 @@
+// Figure 8(b): the same comparison as Figure 8(a) with 64-byte records
+// (1/4 as many records for the same byte volume, cheaper keys-per-byte
+// compute, same I/O volume).  The paper's csort pass times are nearly
+// flat across distributions (its I/O and communication are oblivious to
+// key values); dsort's pass times vary with the distribution but stay
+// below csort's total.
+#include "bench_common.hpp"
+
+#include <vector>
+
+int main(int argc, char** argv) {
+  const std::vector<fg::sort::Distribution> dists(
+      std::begin(fg::sort::kFigure8Distributions),
+      std::end(fg::sort::kFigure8Distributions));
+  return fg::bench::run_figure_bench(
+      "fig8b", 64, dists, "paper ratio band: 74.26%-85.06%", argc, argv);
+}

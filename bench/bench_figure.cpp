@@ -1,0 +1,76 @@
+#include "bench_common.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace fg::bench {
+
+namespace {
+
+void replay(benchmark::State& state, const sort::ProgramOutcome& out,
+            std::uint64_t bytes) {
+  for (auto _ : state) {
+    const auto& t = out.result.times;
+    state.SetIterationTime(t.total());
+    state.counters["sampling_s"] = t.sampling;
+    for (std::size_t i = 0; i < t.passes.size(); ++i) {
+      state.counters["pass" + std::to_string(i + 1) + "_s"] = t.passes[i];
+    }
+    state.counters["verified"] = out.verify.ok() ? 1 : 0;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+}  // namespace
+
+int run_figure_bench(const char* figname, std::uint32_t record_bytes,
+                     const std::vector<sort::Distribution>& dists,
+                     const char* paper_note, int argc, char** argv) {
+  const sort::SortConfig cfg = figure8_config(record_bytes);
+  std::fprintf(stderr, "%s: sorting %llu x %u-byte records on %d nodes, "
+               "twice per distribution...\n",
+               figname, static_cast<unsigned long long>(cfg.records),
+               record_bytes, cfg.nodes);
+
+  // Measure everything up front (each comparison verifies its outputs and
+  // throws on an incorrect sort), then let google-benchmark replay the
+  // measured times so each configuration is sorted exactly once.
+  std::vector<sort::ComparisonRow> rows;
+  for (const auto d : dists) {
+    rows.push_back(
+        sort::run_comparison(cfg, d, sort::LatencyProfile::paper_like()));
+    std::fprintf(stderr, "  %-14s dsort %6.2fs  csort %6.2fs  ratio %s\n",
+                 sort::to_string(d).c_str(),
+                 rows.back().dsort->result.times.total(),
+                 rows.back().csort->result.times.total(),
+                 util::fmt_percent(rows.back().ratio()).c_str());
+  }
+
+  const std::uint64_t bytes = cfg.records * record_bytes;
+  for (const auto& row : rows) {
+    const std::string name = sort::to_string(row.dist);
+    const auto d_out = *row.dsort;
+    const auto c_out = *row.csort;
+    benchmark::RegisterBenchmark(
+        (std::string(figname) + "/dsort/" + name).c_str(),
+        [d_out, bytes](benchmark::State& s) { replay(s, d_out, bytes); })
+        ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+    benchmark::RegisterBenchmark(
+        (std::string(figname) + "/csort/" + name).c_str(),
+        [c_out, bytes](benchmark::State& s) { replay(s, c_out, bytes); })
+        ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  char title[256];
+  std::snprintf(title, sizeof title, "\n%s: %llu x %u-byte records on %d nodes (%s)",
+                figname, static_cast<unsigned long long>(cfg.records),
+                record_bytes, cfg.nodes, paper_note);
+  std::fputs(sort::render_figure8(rows, title).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace fg::bench

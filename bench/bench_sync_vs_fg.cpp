@@ -1,0 +1,106 @@
+// What does FG's overlap buy, end to end?
+//
+// dsort and ssort run the *same algorithm* — same splitters, same two
+// passes, same I/O and communication volumes, byte-identical verified
+// output.  dsort runs it as FG pipelines (every stage its own thread,
+// buffers in flight); ssort runs it as one synchronous program per node.
+// The wall-clock gap is the overlap of disk I/O, communication, and
+// computation that the FG framework provides — the claim of the FG
+// papers, measured on the paper's own workload.
+#include "bench_common.hpp"
+#include "sort/ssort.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+fg::sort::ProgramOutcome run_ssort_program(const fg::sort::SortConfig& cfg,
+                                           const fg::sort::LatencyProfile& lat) {
+  fg::pdm::Workspace ws(cfg.nodes, lat.disk);
+  fg::comm::Cluster cluster(cfg.nodes, lat.net);
+  fg::sort::generate_input(ws, cfg);
+  fg::sort::SortConfig run_cfg = cfg;
+  run_cfg.compute_model = lat.compute;
+  fg::sort::ProgramOutcome out;
+  out.result = fg::sort::run_ssort(cluster, ws, run_cfg);
+  out.verify = fg::sort::verify_output(ws, cfg);
+  if (!out.verify.ok()) {
+    throw std::runtime_error("bench_sync_vs_fg: ssort output incorrect");
+  }
+  return out;
+}
+
+void replay(benchmark::State& state, const fg::sort::ProgramOutcome& out) {
+  for (auto _ : state) {
+    state.SetIterationTime(out.result.times.total());
+    state.counters["pass1_s"] = out.result.times.passes[0];
+    state.counters["pass2_s"] = out.result.times.passes[1];
+    state.counters["verified"] = out.verify.ok() ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = fg::bench::figure8_config(16);
+  const auto lat = fg::sort::LatencyProfile::paper_like();
+  std::fprintf(stderr, "sync_vs_fg: sorting %llu records on %d nodes, "
+               "pipelined (dsort) and synchronous (ssort)...\n",
+               static_cast<unsigned long long>(cfg.records), cfg.nodes);
+
+  std::vector<std::pair<fg::sort::Distribution,
+                        std::pair<fg::sort::ProgramOutcome,
+                                  fg::sort::ProgramOutcome>>> rows;
+  for (const auto d : {fg::sort::Distribution::kUniform,
+                       fg::sort::Distribution::kPoisson}) {
+    auto c = cfg;
+    c.dist = d;
+    auto fg_out = fg::sort::run_program(true, c, lat);
+    auto sync_out = run_ssort_program(c, lat);
+    std::fprintf(stderr, "  %-14s fg %6.2fs  sync %6.2fs\n",
+                 fg::sort::to_string(d).c_str(), fg_out.result.times.total(),
+                 sync_out.result.times.total());
+    rows.emplace_back(d, std::make_pair(fg_out, sync_out));
+  }
+
+  for (const auto& [d, pair] : rows) {
+    const std::string name = fg::sort::to_string(d);
+    const auto fg_out = pair.first;
+    const auto sync_out = pair.second;
+    benchmark::RegisterBenchmark(("sync_vs_fg/pipelined/" + name).c_str(),
+                                 [fg_out](benchmark::State& s) { replay(s, fg_out); })
+        ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+    benchmark::RegisterBenchmark(("sync_vs_fg/synchronous/" + name).c_str(),
+                                 [sync_out](benchmark::State& s) { replay(s, sync_out); })
+        ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  fg::util::TextTable t;
+  t.header({"distribution", "phase", "pipelined (dsort) s", "synchronous s"});
+  for (const auto& [d, pair] : rows) {
+    const auto& ft = pair.first.result.times;
+    const auto& st = pair.second.result.times;
+    t.row({fg::sort::to_string(d), "sampling",
+           fg::util::fmt_seconds(ft.sampling),
+           fg::util::fmt_seconds(st.sampling)});
+    t.row({"", "pass 1", fg::util::fmt_seconds(ft.passes[0]),
+           fg::util::fmt_seconds(st.passes[0])});
+    t.row({"", "pass 2", fg::util::fmt_seconds(ft.passes[1]),
+           fg::util::fmt_seconds(st.passes[1])});
+    t.row({"", "total", fg::util::fmt_seconds(ft.total()),
+           fg::util::fmt_seconds(st.total())});
+    t.row({"", "pipelined/sync",
+           fg::util::fmt_percent(ft.total() / st.total()), ""});
+    t.rule();
+  }
+  std::printf("\nEnd-to-end overlap: the same distribution sort with and "
+              "without FG pipelines.\n");
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "apps/ooc_permute.hpp"
+
+#include "core/fg.hpp"
+#include "sort/record.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace fg::apps {
+
+namespace {
+
+constexpr int kTagChunk = 400;
+constexpr int kTagDone = 401;
+
+}  // namespace
+
+PermuteResult run_permute(comm::Cluster& cluster, pdm::Workspace& ws,
+                          const PermuteConfig& cfg, const IndexMap& dest) {
+  if (cfg.nodes != cluster.size() || cfg.nodes != ws.nodes()) {
+    throw std::invalid_argument(
+        "fg::apps::run_permute: cluster/workspace/config node counts differ");
+  }
+  const pdm::StripeLayout layout(cfg.nodes, cfg.record_bytes,
+                                 cfg.block_records);
+  const std::uint32_t rec = cfg.record_bytes;
+  const int p = cfg.nodes;
+  comm::Fabric& fabric = cluster.fabric();
+
+  util::Stopwatch wall;
+  cluster.run([&](comm::NodeId me) {
+    pdm::Disk& disk = ws.disk(me);
+    pdm::File input = disk.open(cfg.input_name);
+    pdm::File output = disk.create(cfg.output_name);
+
+    PipelineGraph graph;
+    PipelineConfig sc;
+    sc.name = "send";
+    sc.num_buffers = cfg.num_buffers;
+    sc.buffer_bytes = cfg.buffer_records * rec;
+    Pipeline& sp = graph.add_pipeline(sc);
+    PipelineConfig rc;
+    rc.name = "receive";
+    rc.num_buffers = cfg.num_buffers;
+    rc.buffer_bytes = 8 + std::size_t{cfg.block_records} * rec;
+    Pipeline& rp = graph.add_pipeline(rc);
+
+    // --- send pipeline -------------------------------------------------
+    // The node's striped share, block by block: local block lb holds
+    // global records [gb, gb + n) with gb = (lb*P + me) * block_records.
+    const std::uint64_t total_blocks =
+        (cfg.records + cfg.block_records - 1) / cfg.block_records;
+    std::uint64_t next_block = static_cast<std::uint64_t>(me);
+    MapStage read("read", [&](Buffer& b) {
+      if (next_block >= total_blocks) return StageAction::kRecycleAndClose;
+      const std::uint64_t g0 = next_block * cfg.block_records;
+      const std::uint64_t n =
+          std::min<std::uint64_t>(cfg.block_records, cfg.records - g0);
+      disk.read(input, layout.local_byte_offset(g0), b.data().first(n * rec));
+      b.set_size(n * rec);
+      b.set_tag(g0);
+      next_block += static_cast<std::uint64_t>(p);
+      return StageAction::kConvey;
+    });
+
+    std::vector<std::byte> msg;
+    MapStage route(
+        "route",
+        [&, me](Buffer& b) {
+          const std::uint64_t g0 = b.tag();
+          const std::uint64_t n = b.size() / rec;
+          const std::byte* ptr = b.contents().data();
+          std::uint64_t i = 0;
+          while (i < n) {
+            // Coalesce a maximal run of consecutive destinations that
+            // stays within one striped block of the output.
+            const std::uint64_t d0 = dest(g0 + i);
+            std::uint64_t len = 1;
+            const std::uint64_t block_cap = layout.run_within_block(d0);
+            while (i + len < n && len < block_cap &&
+                   dest(g0 + i + len) == d0 + len) {
+              ++len;
+            }
+            const int target = layout.node_of(d0);
+            msg.resize(8 + len * rec);
+            std::memcpy(msg.data(), &d0, 8);
+            std::memcpy(msg.data() + 8, ptr + i * rec, len * rec);
+            fabric.send(me, target, kTagChunk, msg);
+            i += len;
+          }
+          return StageAction::kConvey;
+        },
+        [&, me](PipelineId) {
+          for (int d = 0; d < p; ++d) fabric.send(me, d, kTagDone, {});
+        });
+
+    sp.add_stage(read);
+    sp.add_stage(route);
+
+    // --- receive pipeline ------------------------------------------------
+    int dones = 0;
+    std::vector<std::byte> tmp(8 + std::size_t{cfg.block_records} * rec);
+    MapStage receive("receive", [&, me](Buffer& b) {
+      for (;;) {
+        if (dones == p) return StageAction::kRecycleAndClose;
+        const auto rr =
+            fabric.recv(me, comm::kAnySource, comm::kAnyTag, tmp);
+        if (rr.tag == kTagDone) {
+          ++dones;
+          continue;
+        }
+        std::uint64_t d0;
+        std::memcpy(&d0, tmp.data(), 8);
+        std::memcpy(b.data().data(), tmp.data() + 8, rr.bytes - 8);
+        b.set_size(rr.bytes - 8);
+        b.set_tag(d0);
+        return StageAction::kConvey;
+      }
+    });
+    MapStage write("write", [&](Buffer& b) {
+      disk.write(output, layout.local_byte_offset(b.tag()), b.contents());
+      return StageAction::kConvey;
+    });
+    rp.add_stage(receive);
+    rp.add_stage(write);
+
+    graph.run();
+  });
+
+  return PermuteResult{wall.elapsed_seconds(), cfg.records};
+}
+
+IndexMap cyclic_shift_map(std::uint64_t records, std::uint64_t shift) {
+  return [records, shift](std::uint64_t g) { return (g + shift) % records; };
+}
+
+IndexMap reversal_map(std::uint64_t records) {
+  return [records](std::uint64_t g) { return records - 1 - g; };
+}
+
+IndexMap transpose_map(std::uint64_t rows, std::uint64_t cols) {
+  return [rows, cols](std::uint64_t g) {
+    const std::uint64_t i = g / cols;
+    const std::uint64_t j = g % cols;
+    return j * rows + i;
+  };
+}
+
+IndexMap block_transpose_map(std::uint64_t row_blocks,
+                             std::uint64_t col_blocks,
+                             std::uint32_t block_records) {
+  return [row_blocks, col_blocks, block_records](std::uint64_t g) {
+    const std::uint64_t tile = g / block_records;
+    const std::uint64_t within = g % block_records;
+    const std::uint64_t i = tile / col_blocks;
+    const std::uint64_t j = tile % col_blocks;
+    return (j * row_blocks + i) * block_records + within;
+  };
+}
+
+IndexMap random_bijection_map(std::uint64_t records, std::uint64_t seed) {
+  // Cycle-walking Feistel network over the smallest even-width
+  // power-of-two domain covering [0, records): a true bijection for any
+  // record count.  (Equal half widths keep the Feistel swap bijective.)
+  int bits = 2;
+  while ((1ULL << bits) < records) bits += 2;
+  const int half = bits / 2;
+  const std::uint64_t mask = (1ULL << half) - 1;
+  return [records, seed, half, mask](std::uint64_t g) {
+    std::uint64_t v = g;
+    do {
+      std::uint64_t l = v >> half;
+      std::uint64_t r = v & mask;
+      for (int round = 0; round < 3; ++round) {
+        const std::uint64_t f =
+            util::mix64(r ^ seed ^ (static_cast<std::uint64_t>(round) << 60)) &
+            mask;
+        const std::uint64_t nl = r;
+        r = (l ^ f) & mask;
+        l = nl;
+      }
+      v = (l << half) | r;
+    } while (v >= records);
+    return v;
+  };
+}
+
+std::uint64_t verify_permutation(pdm::Workspace& ws, const PermuteConfig& cfg,
+                                 const IndexMap& dest) {
+  // Verification is not part of any measured phase: run it with the
+  // disks' latency models disabled, restoring them on exit.
+  std::vector<util::LatencyModel> saved;
+  for (int n = 0; n < ws.nodes(); ++n) {
+    saved.push_back(ws.disk(n).model());
+    ws.disk(n).set_model(util::LatencyModel::free());
+  }
+  struct Restore {
+    pdm::Workspace& ws;
+    std::vector<util::LatencyModel>& models;
+    ~Restore() {
+      for (int n = 0; n < ws.nodes(); ++n) {
+        ws.disk(n).set_model(models[static_cast<std::size_t>(n)]);
+      }
+    }
+  } restore{ws, saved};
+
+  const pdm::StripeLayout layout(cfg.nodes, cfg.record_bytes,
+                                 cfg.block_records);
+  std::vector<pdm::File> files;
+  for (int n = 0; n < cfg.nodes; ++n) {
+    if (!ws.disk(n).exists(cfg.output_name)) return cfg.records;
+    files.push_back(ws.disk(n).open(cfg.output_name));
+  }
+  std::vector<std::byte> rec(cfg.record_bytes);
+  std::uint64_t mismatches = 0;
+  for (std::uint64_t g = 0; g < cfg.records; ++g) {
+    const std::uint64_t q = dest(g);
+    const int node = layout.node_of(q);
+    const std::size_t got =
+        ws.disk(node).read(files[static_cast<std::size_t>(node)],
+                           layout.local_byte_offset(q), rec);
+    if (got != rec.size() || sort::uid_of(rec.data()) != g) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace fg::apps

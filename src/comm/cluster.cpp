@@ -1,0 +1,38 @@
+#include "comm/cluster.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fg::comm {
+
+void Cluster::run(const std::function<void(NodeId)>& node_main) {
+  if (fabric_.aborted()) {
+    throw std::logic_error(
+        "fg::comm::Cluster::run: fabric aborted by an earlier failure");
+  }
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (NodeId n = 0; n < size(); ++n) {
+    threads.emplace_back([&, n] {
+      try {
+        node_main(n);
+      } catch (const FabricAborted&) {
+        // unwinding after another node's failure: nothing to record
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        fabric_.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fg::comm

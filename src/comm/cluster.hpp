@@ -1,0 +1,35 @@
+// Runs a "cluster" program: one function per node, each on its own
+// thread, all sharing one Fabric.  This is the harness that stands in for
+// mpirun: node programs typically build FG pipeline graphs and call
+// fabric operations from their stages.
+#pragma once
+
+#include "comm/fabric.hpp"
+
+#include <functional>
+
+namespace fg::comm {
+
+class Cluster {
+ public:
+  /// @param nodes    cluster size P
+  /// @param network  latency model applied to every message
+  explicit Cluster(int nodes,
+                   util::LatencyModel network = util::LatencyModel::free())
+      : fabric_(nodes, network) {}
+
+  Fabric& fabric() noexcept { return fabric_; }
+  int size() const noexcept { return fabric_.size(); }
+
+  /// Execute `node_main(rank)` on `size()` threads and join.  If any node
+  /// program throws, the fabric is aborted (so the other nodes' blocked
+  /// communication calls unwind) and the first exception is rethrown.
+  /// May be called repeatedly for multi-phase programs, as long as no
+  /// previous phase failed.
+  void run(const std::function<void(NodeId)>& node_main);
+
+ private:
+  Fabric fabric_;
+};
+
+}  // namespace fg::comm

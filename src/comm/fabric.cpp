@@ -1,0 +1,320 @@
+#include "comm/fabric.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace fg::comm {
+
+namespace {
+
+// Internal tags for collectives.  User tags are required to be >= 0, so
+// these can never collide with application traffic.
+constexpr int kTagBarrierArrive = -2;
+constexpr int kTagBarrierRelease = -3;
+constexpr int kTagBroadcast = -4;
+constexpr int kTagAlltoall = -5;
+constexpr int kTagGather = -6;
+
+std::span<const std::byte> as_bytes_span(const std::uint64_t* p,
+                                         std::size_t n) {
+  return {reinterpret_cast<const std::byte*>(p), n * sizeof(std::uint64_t)};
+}
+
+}  // namespace
+
+Fabric::Fabric(int nodes, util::LatencyModel model) : model_(model) {
+  if (nodes <= 0) {
+    throw std::invalid_argument("fg::comm::Fabric: need at least one node");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  traffic_.resize(static_cast<std::size_t>(nodes));
+}
+
+void Fabric::check_node(NodeId n, const char* what) const {
+  if (n < 0 || n >= size()) {
+    throw std::out_of_range(std::string("fg::comm::Fabric::") + what +
+                            ": node rank out of range");
+  }
+}
+
+void Fabric::send(NodeId src, NodeId dst, int tag,
+                  std::span<const std::byte> data) {
+  if (tag < 0) {
+    throw std::invalid_argument(
+        "fg::comm::Fabric::send: application tags must be >= 0");
+  }
+  send_internal(src, dst, tag, data);
+}
+
+void Fabric::send_internal(NodeId src, NodeId dst, int tag,
+                           std::span<const std::byte> data) {
+  check_node(src, "send");
+  check_node(dst, "send");
+  if (aborted()) throw FabricAborted{};
+
+  Message m;
+  m.src = src;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    // Non-overtaking delivery per (src, dst) channel, like MPI: a message
+    // may not be delivered before an earlier message on the same channel,
+    // even if it is smaller and would otherwise "arrive" sooner.  A node
+    // sending to itself never touches the wire, so it pays no latency.
+    const util::TimePoint earliest =
+        util::Clock::now() +
+        (src == dst ? util::Duration::zero() : model_.cost(data.size()));
+    util::TimePoint floor{};
+    for (auto it = mb.messages.rbegin(); it != mb.messages.rend(); ++it) {
+      if (it->src == src) {
+        floor = it->deliver_at;
+        break;
+      }
+    }
+    m.deliver_at = std::max(earliest, floor);
+    mb.messages.push_back(std::move(m));
+  }
+  mb.cv.notify_all();
+
+  {
+    std::lock_guard<std::mutex> lock(traffic_mutex_);
+    auto& t = traffic_[static_cast<std::size_t>(src)];
+    ++t.messages_sent;
+    t.bytes_sent += data.size();
+  }
+}
+
+RecvResult Fabric::recv(NodeId me, NodeId src, int tag,
+                        std::span<std::byte> out) {
+  if (tag < 0 && tag != kAnyTag) {
+    throw std::invalid_argument(
+        "fg::comm::Fabric::recv: application tags must be >= 0 (or kAnyTag)");
+  }
+  return recv_internal(me, src, tag, out);
+}
+
+RecvResult Fabric::recv_internal(NodeId me, NodeId src, int tag,
+                                 std::span<std::byte> out) {
+  check_node(me, "recv");
+  if (src != kAnySource) check_node(src, "recv");
+
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  for (;;) {
+    if (aborted()) throw FabricAborted{};
+
+    auto best = mb.messages.end();
+    for (auto it = mb.messages.begin(); it != mb.messages.end(); ++it) {
+      if (src != kAnySource && it->src != src) continue;
+      if (tag != kAnyTag && it->tag != tag) continue;
+      if (best == mb.messages.end() || it->deliver_at < best->deliver_at) {
+        best = it;
+      }
+    }
+    if (best != mb.messages.end()) {
+      const util::TimePoint now = util::Clock::now();
+      if (best->deliver_at <= now) {
+        if (best->payload.size() > out.size()) {
+          throw std::length_error(
+              "fg::comm::Fabric::recv: message larger than receive buffer");
+        }
+        RecvResult r{best->src, best->tag, best->payload.size()};
+        std::memcpy(out.data(), best->payload.data(), best->payload.size());
+        mb.messages.erase(best);
+        lock.unlock();
+        std::lock_guard<std::mutex> tl(traffic_mutex_);
+        auto& t = traffic_[static_cast<std::size_t>(me)];
+        ++t.messages_received;
+        t.bytes_received += r.bytes;
+        return r;
+      }
+      mb.cv.wait_until(lock, best->deliver_at);
+    } else {
+      mb.cv.wait(lock);
+    }
+  }
+}
+
+bool Fabric::probe(NodeId me, NodeId src, int tag) const {
+  check_node(me, "probe");
+  const Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
+  std::lock_guard<std::mutex> lock(mb.mutex);
+  const util::TimePoint now = util::Clock::now();
+  for (const auto& m : mb.messages) {
+    if (src != kAnySource && m.src != src) continue;
+    if (tag != kAnyTag && m.tag != tag) continue;
+    if (m.deliver_at <= now) return true;
+  }
+  return false;
+}
+
+void Fabric::barrier(NodeId me) {
+  check_node(me, "barrier");
+  if (size() == 1) return;
+  std::byte token{};
+  if (me == 0) {
+    // Collect one arrival from every other node (matched by explicit
+    // source so a fast node's *next* barrier cannot be double-counted),
+    // then release everyone.
+    std::byte sink{};
+    for (NodeId n = 1; n < size(); ++n) {
+      recv_internal(0, n, kTagBarrierArrive, {&sink, 1});
+    }
+    for (NodeId n = 1; n < size(); ++n) {
+      send_internal(0, n, kTagBarrierRelease, {&token, 1});
+    }
+  } else {
+    send_internal(me, 0, kTagBarrierArrive, {&token, 1});
+    std::byte sink{};
+    recv_internal(me, 0, kTagBarrierRelease, {&sink, 1});
+  }
+}
+
+void Fabric::broadcast(NodeId me, NodeId root, std::span<std::byte> data) {
+  check_node(me, "broadcast");
+  check_node(root, "broadcast");
+  if (size() == 1) return;
+  if (me == root) {
+    for (NodeId n = 0; n < size(); ++n) {
+      if (n == root) continue;
+      send_internal(root, n, kTagBroadcast, data);
+    }
+  } else {
+    recv_internal(me, root, kTagBroadcast, data);
+  }
+}
+
+void Fabric::alltoall(NodeId me, std::span<const std::byte> send_data,
+                      std::span<std::byte> recv_data,
+                      std::size_t block_bytes) {
+  check_node(me, "alltoall");
+  const auto p = static_cast<std::size_t>(size());
+  if (send_data.size() < p * block_bytes || recv_data.size() < p * block_bytes) {
+    throw std::length_error(
+        "fg::comm::Fabric::alltoall: buffers must hold size() blocks");
+  }
+  // Local block moves without touching the wire, as in any MPI.
+  std::memcpy(recv_data.data() + static_cast<std::size_t>(me) * block_bytes,
+              send_data.data() + static_cast<std::size_t>(me) * block_bytes,
+              block_bytes);
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) continue;
+    send_internal(me, n, kTagAlltoall,
+                  send_data.subspan(static_cast<std::size_t>(n) * block_bytes,
+                                    block_bytes));
+  }
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) continue;
+    recv_internal(me, n, kTagAlltoall,
+                  recv_data.subspan(static_cast<std::size_t>(n) * block_bytes,
+                                    block_bytes));
+  }
+}
+
+std::vector<std::size_t> Fabric::alltoallv(
+    NodeId me, const std::vector<std::span<const std::byte>>& send,
+    std::span<std::byte> recv_all) {
+  check_node(me, "alltoallv");
+  if (send.size() != static_cast<std::size_t>(size())) {
+    throw std::invalid_argument(
+        "fg::comm::Fabric::alltoallv: need one send block per node");
+  }
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(size()), 0);
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) continue;
+    send_internal(me, n, kTagAlltoall, send[static_cast<std::size_t>(n)]);
+  }
+  std::size_t offset = 0;
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) {
+      const auto& mine = send[static_cast<std::size_t>(me)];
+      if (mine.size() > recv_all.size() - offset) {
+        throw std::length_error(
+            "fg::comm::Fabric::alltoallv: receive buffer too small");
+      }
+      std::memcpy(recv_all.data() + offset, mine.data(), mine.size());
+      sizes[static_cast<std::size_t>(me)] = mine.size();
+      offset += mine.size();
+      continue;
+    }
+    const RecvResult r =
+        recv_internal(me, n, kTagAlltoall, recv_all.subspan(offset));
+    sizes[static_cast<std::size_t>(n)] = r.bytes;
+    offset += r.bytes;
+  }
+  return sizes;
+}
+
+void Fabric::sendrecv_replace(NodeId me, NodeId dst, NodeId src, int tag,
+                              std::span<std::byte> data) {
+  if (tag < 0) {
+    throw std::invalid_argument(
+        "fg::comm::Fabric::sendrecv_replace: application tags must be >= 0");
+  }
+  check_node(me, "sendrecv_replace");
+  check_node(dst, "sendrecv_replace");
+  check_node(src, "sendrecv_replace");
+  if (dst == me && src == me) return;  // exchange with self is a no-op
+  send_internal(me, dst, tag, data);
+  std::vector<std::byte> tmp(data.size());
+  recv_internal(me, src, tag, tmp);
+  std::memcpy(data.data(), tmp.data(), data.size());
+}
+
+std::vector<std::uint64_t> Fabric::allgather_u64(NodeId me,
+                                                 std::uint64_t value) {
+  check_node(me, "allgather_u64");
+  std::vector<std::uint64_t> all(static_cast<std::size_t>(size()), 0);
+  all[static_cast<std::size_t>(me)] = value;
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) continue;
+    send_internal(me, n, kTagGather, as_bytes_span(&value, 1));
+  }
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) continue;
+    std::uint64_t v = 0;
+    recv_internal(me, n, kTagGather,
+                  {reinterpret_cast<std::byte*>(&v), sizeof v});
+    all[static_cast<std::size_t>(n)] = v;
+  }
+  return all;
+}
+
+std::vector<std::uint64_t> Fabric::allreduce_sum_u64(
+    NodeId me, std::span<const std::uint64_t> values) {
+  check_node(me, "allreduce_sum_u64");
+  std::vector<std::uint64_t> sum(values.begin(), values.end());
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) continue;
+    send_internal(me, n, kTagGather, as_bytes_span(values.data(), values.size()));
+  }
+  std::vector<std::uint64_t> incoming(values.size());
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == me) continue;
+    recv_internal(me, n, kTagGather,
+                  {reinterpret_cast<std::byte*>(incoming.data()),
+                   incoming.size() * sizeof(std::uint64_t)});
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += incoming[i];
+  }
+  return sum;
+}
+
+void Fabric::abort() {
+  aborted_.store(true, std::memory_order_relaxed);
+  for (auto& mb : mailboxes_) mb->cv.notify_all();
+}
+
+TrafficStats Fabric::stats(NodeId node) const {
+  check_node(node, "stats");
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
+  return traffic_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace fg::comm

@@ -1,0 +1,169 @@
+// The interprocessor-communication substrate.
+//
+// The paper ran on a 16-node Beowulf cluster with a thread-safe commercial
+// MPI (ChaMPIon/Pro) over 2 Gb/s Myrinet.  Locally we simulate the cluster
+// in one process: each "node" is a set of threads, and this Fabric carries
+// messages between nodes with an affine latency/bandwidth cost model.
+//
+// The API mirrors the MPI subset the paper names — matched send/recv with
+// tags, MPI_Sendrecv_replace, MPI_Alltoall — plus the small collectives the
+// sorting programs need (barrier, broadcast, allgather, allreduce-style
+// sums).  Everything is thread-safe: FG runs pipeline stages on many
+// threads per node, exactly as the paper requires of its MPI.
+//
+// Latency is charged as *delivery time*: send() computes the modeled cost
+// and stamps the message with the time at which it becomes visible; the
+// sender proceeds immediately (buffered send), and recv() blocks until a
+// matching message's delivery time has passed.  This keeps the wire "busy"
+// without blocking the sender, which is the regime in which overlapping
+// communication with computation pays off.
+#pragma once
+
+#include "util/latency.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fg::comm {
+
+/// Node rank within the cluster, 0-based.
+using NodeId = int;
+
+/// Wildcard source for recv().
+inline constexpr NodeId kAnySource = -1;
+/// Wildcard tag for recv().  User tags must be non-negative; negative tags
+/// are reserved for the fabric's internal collectives.
+inline constexpr int kAnyTag = -1;
+
+/// Thrown out of blocked fabric calls when the cluster aborts (some node
+/// program failed); lets every node thread unwind instead of hanging.
+struct FabricAborted : std::runtime_error {
+  FabricAborted() : std::runtime_error("fg::comm::Fabric aborted") {}
+};
+
+/// What recv() reports about the message it delivered.
+struct RecvResult {
+  NodeId source{0};
+  int tag{0};
+  std::size_t bytes{0};
+};
+
+/// Per-node traffic counters (bytes at the application payload level).
+struct TrafficStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t bytes_sent{0};
+  std::uint64_t messages_received{0};
+  std::uint64_t bytes_received{0};
+};
+
+class Fabric {
+ public:
+  /// @param nodes  cluster size P
+  /// @param model  per-message cost; delivery time = send time + cost
+  explicit Fabric(int nodes,
+                  util::LatencyModel model = util::LatencyModel::free());
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  const util::LatencyModel& model() const noexcept { return model_; }
+
+  // -- point-to-point -------------------------------------------------------
+
+  /// Buffered send: the payload is copied and the call returns immediately.
+  /// @param tag  application tag, must be >= 0
+  void send(NodeId src, NodeId dst, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive into `out`.  `src` may be kAnySource and `tag` may be
+  /// kAnyTag.  Among matching messages the one with the earliest delivery
+  /// time is taken; the call blocks until that time has passed.  Throws
+  /// std::length_error if the message is larger than `out`.
+  RecvResult recv(NodeId me, NodeId src, int tag, std::span<std::byte> out);
+
+  /// True if a matching message is available for immediate delivery.
+  bool probe(NodeId me, NodeId src, int tag) const;
+
+  // -- collectives ----------------------------------------------------------
+  // Every node of the cluster must call these, like their MPI namesakes.
+
+  /// Synchronize all nodes.
+  void barrier(NodeId me);
+
+  /// Root's `data` is copied to every other node's `data`.
+  void broadcast(NodeId me, NodeId root, std::span<std::byte> data);
+
+  /// Personalized all-to-all: `send_data` holds `size()` blocks of
+  /// `block_bytes` each (block i goes to node i); `recv_data`, same shape,
+  /// receives block j from node j.  Mirrors MPI_Alltoall.
+  void alltoall(NodeId me, std::span<const std::byte> send_data,
+                std::span<std::byte> recv_data, std::size_t block_bytes);
+
+  /// Personalized all-to-all with *variable* per-destination sizes
+  /// (MPI_Alltoallv): block `send[d]` goes to node d (empty spans are
+  /// legal).  Received blocks are packed into `recv_all` in source-rank
+  /// order; the returned vector gives each source's byte count.  Throws
+  /// std::length_error if the packed result exceeds `recv_all`.
+  std::vector<std::size_t> alltoallv(
+      NodeId me, const std::vector<std::span<const std::byte>>& send,
+      std::span<std::byte> recv_all);
+
+  /// Exchange `data` in place with a partner: send to `dst`, receive the
+  /// same number of bytes from `src`.  Mirrors MPI_Sendrecv_replace.
+  void sendrecv_replace(NodeId me, NodeId dst, NodeId src, int tag,
+                        std::span<std::byte> data);
+
+  /// Every node contributes one u64; all nodes get the full vector indexed
+  /// by rank.  (The sorts use this for partition-size prefix sums.)
+  std::vector<std::uint64_t> allgather_u64(NodeId me, std::uint64_t value);
+
+  /// Sum-reduce a vector of u64 across nodes; all nodes get the result.
+  std::vector<std::uint64_t> allreduce_sum_u64(
+      NodeId me, std::span<const std::uint64_t> values);
+
+  // -- control ----------------------------------------------------------------
+
+  /// Wake all blocked calls with FabricAborted; used for error unwinding.
+  void abort();
+  bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-node traffic counters (application payload bytes).
+  TrafficStats stats(NodeId node) const;
+
+ private:
+  struct Message {
+    NodeId src;
+    int tag;
+    std::vector<std::byte> payload;
+    util::TimePoint deliver_at;
+  };
+
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::list<Message> messages;
+  };
+
+  void check_node(NodeId n, const char* what) const;
+  void send_internal(NodeId src, NodeId dst, int tag,
+                     std::span<const std::byte> data);
+  RecvResult recv_internal(NodeId me, NodeId src, int tag,
+                           std::span<std::byte> out);
+
+  util::LatencyModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<TrafficStats> traffic_;          // guarded by traffic_mutex_
+  mutable std::mutex traffic_mutex_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace fg::comm

@@ -1,0 +1,124 @@
+// Buffers are the unit of data movement in FG.  A buffer corresponds to a
+// block for high-latency transfer (disk I/O or interprocessor
+// communication), so the buffer size is typically the block size.  Every
+// buffer is owned by exactly one pipeline's pool and is *tied to that
+// pipeline*: buffers never jump between pipelines (checked at convey time).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+namespace fg {
+
+/// Identifies a pipeline within one PipelineGraph.
+using PipelineId = std::uint32_t;
+inline constexpr PipelineId kNoPipeline = static_cast<PipelineId>(-1);
+
+/// A fixed-capacity block of bytes plus pipeline metadata.  Buffers are
+/// allocated once per pipeline (a small pool) and recycled from the sink
+/// back to the source, so total buffer memory is bounded regardless of
+/// how many rounds a computation runs.
+class Buffer {
+ public:
+  /// @param capacity   usable bytes in the primary block
+  /// @param pipeline   owning pipeline
+  /// @param with_aux   also allocate an auxiliary scratch block of the
+  ///                   same capacity (FG's auxiliary-buffer feature, used
+  ///                   e.g. by out-of-place permutation stages)
+  Buffer(std::size_t capacity, PipelineId pipeline, bool with_aux)
+      : data_(std::make_unique<std::byte[]>(capacity)),
+        aux_(with_aux ? std::make_unique<std::byte[]>(capacity) : nullptr),
+        capacity_(capacity),
+        pipeline_(pipeline) {}
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  /// Full-capacity view of the primary block.
+  std::span<std::byte> data() noexcept { return {data_.get(), capacity_}; }
+  std::span<const std::byte> data() const noexcept {
+    return {data_.get(), capacity_};
+  }
+
+  /// View of the valid prefix (`size()` bytes).
+  std::span<std::byte> contents() noexcept { return {data_.get(), size_}; }
+  std::span<const std::byte> contents() const noexcept {
+    return {data_.get(), size_};
+  }
+
+  /// Auxiliary scratch block; throws if the pipeline was configured
+  /// without auxiliary buffers.
+  std::span<std::byte> aux() {
+    if (!aux_) throw std::logic_error("fg::Buffer: no auxiliary buffer");
+    return {aux_.get(), capacity_};
+  }
+  bool has_aux() const noexcept { return aux_ != nullptr; }
+
+  /// Swap the primary and auxiliary blocks (cheap pointer swap); lets a
+  /// permuting stage write into aux() and publish the result without a
+  /// copy.
+  void swap_aux() {
+    if (!aux_) throw std::logic_error("fg::Buffer: no auxiliary buffer");
+    data_.swap(aux_);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of valid bytes currently in the buffer.  The source emits
+  /// buffers with size 0; the stage that fills a buffer sets its size.
+  std::size_t size() const noexcept { return size_; }
+  void set_size(std::size_t n) {
+    if (n > capacity_) throw std::length_error("fg::Buffer: size > capacity");
+    size_ = n;
+  }
+
+  /// The round in which the source emitted this buffer (0-based,
+  /// per-pipeline).
+  std::uint64_t round() const noexcept { return round_; }
+
+  /// Owning pipeline; immutable for the buffer's lifetime.
+  PipelineId pipeline() const noexcept { return pipeline_; }
+
+  /// Free-use tag for stage-to-stage metadata (e.g. a file offset chosen
+  /// by a read stage and consumed by a write stage).
+  std::uint64_t tag() const noexcept { return tag_; }
+  void set_tag(std::uint64_t t) noexcept { tag_ = t; }
+
+  /// Typed view over the valid prefix.  The buffer must hold a whole
+  /// number of T's worth of valid bytes.
+  template <typename T>
+  std::span<T> as() noexcept {
+    assert(size_ % sizeof(T) == 0);
+    return {reinterpret_cast<T*>(data_.get()), size_ / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> as() const noexcept {
+    assert(size_ % sizeof(T) == 0);
+    return {reinterpret_cast<const T*>(data_.get()), size_ / sizeof(T)};
+  }
+
+  /// Typed view over the full capacity.
+  template <typename T>
+  std::span<T> capacity_as() noexcept {
+    return {reinterpret_cast<T*>(data_.get()), capacity_ / sizeof(T)};
+  }
+
+  /// Framework-internal: the source sets the round on each emission.
+  /// Application stages should treat the round as read-only.
+  void set_round(std::uint64_t r) noexcept { round_ = r; }
+
+ private:
+  std::unique_ptr<std::byte[]> data_;
+  std::unique_ptr<std::byte[]> aux_;
+  std::size_t capacity_;
+  std::size_t size_{0};
+  std::uint64_t round_{0};
+  std::uint64_t tag_{0};
+  PipelineId pipeline_;
+};
+
+}  // namespace fg

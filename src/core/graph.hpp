@@ -1,0 +1,74 @@
+// PipelineGraph assembles and executes a set of FG pipelines on one node.
+//
+// The graph owns pipelines, buffer pools, inter-stage queues, and worker
+// threads.  Stage objects are owned by the application and must outlive
+// run().  The graph detects the three pipeline relationships the paper
+// describes:
+//
+//  * disjoint pipelines       — no shared stage objects; each runs its own
+//                               source, sink, pool, and stage threads;
+//  * intersecting pipelines   — a custom stage object added to several
+//                               pipelines becomes the *common stage*: one
+//                               thread, accepting buffers from named
+//                               member pipelines;
+//  * virtual pipelines        — a MapStage added to several pipelines with
+//                               StageMode::kVirtual: one thread and one
+//                               shared inbound queue serve all copies, and
+//                               the member pipelines' sources and sinks
+//                               are automatically virtualized (merged)
+//                               too, so hundreds of pipelines do not
+//                               create hundreds of threads.
+//
+// run() blocks until every pipeline has terminated (fixed round count
+// reached, or closed by a stage).  If any stage throws, the graph aborts
+// all queues so every worker unwinds, then rethrows the first exception.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "core/queue.hpp"
+#include "core/stage.hpp"
+#include "core/stage_stats.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace fg {
+
+class PipelineGraph {
+ public:
+  PipelineGraph();
+  ~PipelineGraph();
+
+  PipelineGraph(const PipelineGraph&) = delete;
+  PipelineGraph& operator=(const PipelineGraph&) = delete;
+
+  /// Create a pipeline with the given configuration.  The returned
+  /// reference is stable for the graph's lifetime.
+  Pipeline& add_pipeline(PipelineConfig cfg);
+
+  /// Build the worker/queue topology, execute all pipelines to
+  /// completion, and join.  Single-shot: a graph cannot be rerun.
+  void run();
+
+  /// Number of worker threads run() will create (sources, sinks, stage
+  /// workers after virtual-group merging).  Valid before or after run();
+  /// the virtual-stage benches assert on this.
+  std::size_t planned_threads() const;
+
+  /// Per-worker timing statistics; valid after run().
+  std::vector<StageStats> stats() const;
+
+ private:
+  // Private static accessors so the nested Impl (which has the access
+  // rights of a member of PipelineGraph) can reach Pipeline internals
+  // without Pipeline having to befriend the implementation type.
+  static const std::vector<Pipeline::Entry>& entries(const Pipeline& p) {
+    return p.entries_;
+  }
+  static void freeze(Pipeline& p) { p.frozen_ = true; }
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fg

@@ -1,0 +1,85 @@
+// A Pipeline is an ordered sequence of programmer-defined stages.  The
+// graph automatically prepends a source stage (which injects buffers, one
+// per round, from a fixed pool) and appends a sink stage (which recycles
+// buffers back to the source).  Each pipeline owns its own buffer pool
+// with its own buffer count and buffer size — the paper's disjoint and
+// intersecting pipelines rely on exactly this independence.
+#pragma once
+
+#include "core/stage.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fg {
+
+class PipelineGraph;
+
+/// How a stage participates in a pipeline.
+enum class StageMode : std::uint8_t {
+  kNormal,   ///< the stage gets (or is) its own thread
+  kVirtual,  ///< identical stages across pipelines share one thread
+};
+
+/// Static configuration of one pipeline.
+struct PipelineConfig {
+  std::string name{"pipeline"};
+  std::size_t num_buffers{4};          ///< buffers in the pool
+  std::size_t buffer_bytes{64 * 1024}; ///< capacity of each buffer
+  bool aux_buffers{false};             ///< allocate auxiliary scratch blocks
+  /// Number of rounds (buffer emissions).  0 means "run until some stage
+  /// closes the pipeline" — the mode used when the amount of work is
+  /// data-dependent, e.g. a receive pipeline that ends when every sender
+  /// has finished.
+  std::uint64_t rounds{0};
+  /// Capacity of the inter-stage queues; 0 = unbounded (the buffer pool
+  /// already bounds circulation).
+  std::size_t queue_capacity{0};
+};
+
+/// Handle to a pipeline under construction (and, after run(), a key for
+/// stats lookup).  Created by PipelineGraph::add_pipeline; owned by the
+/// graph.
+class Pipeline {
+ public:
+  PipelineId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return cfg_.name; }
+  const PipelineConfig& config() const noexcept { return cfg_; }
+
+  /// Append a stage.  Stages execute in append order, between the
+  /// implicit source and sink.  The same stage object may be appended to
+  /// several pipelines: with kVirtual everywhere it becomes a virtual
+  /// stage (one shared thread + one shared inbound queue); otherwise it
+  /// must be a custom stage and becomes the common stage of intersecting
+  /// pipelines.
+  void add_stage(Stage& s, StageMode mode = StageMode::kNormal);
+
+  /// Append a *replicated* stage: `replicas` threads service the stage's
+  /// single inbound queue concurrently (FG's way of exploiting multiple
+  /// cores for a compute-heavy stage).  Buffers may reach the successor
+  /// out of round order, so replicate only order-insensitive stages —
+  /// in-place transforms, filters — never stages whose writes or sends
+  /// depend on arrival order.  A replicated stage belongs to exactly one
+  /// pipeline.
+  void add_stage_replicated(MapStage& s, std::size_t replicas);
+
+  /// One appended stage (framework-visible).
+  struct Entry {
+    Stage* stage;
+    StageMode mode;
+    std::size_t replicas{1};
+  };
+
+ private:
+  friend class PipelineGraph;
+
+  Pipeline(PipelineId id, PipelineConfig cfg) : id_(id), cfg_(std::move(cfg)) {}
+
+  PipelineId id_;
+  PipelineConfig cfg_;
+  std::vector<Entry> entries_;
+  bool frozen_{false};  ///< set once the graph topology is built
+};
+
+}  // namespace fg

@@ -1,0 +1,134 @@
+// The bounded blocking queue FG places between consecutive pipeline
+// stages.  A stage conveys a buffer by pushing into the queue to its
+// successor and accepts by popping the queue from its predecessor; an
+// empty-queue pop blocks, which is what makes a stage's thread yield so
+// other stages can overlap work with high-latency operations.
+//
+// Queues carry *tokens*, not raw buffers, because the termination
+// protocol needs two control messages besides data:
+//   * caboose — "no more buffers will follow on this pipeline"; it is the
+//     last token a pipeline sends through each queue and flushes the
+//     stages downstream.
+//   * close   — sent *backwards* into a source's recycle queue by a stage
+//     that has determined its pipeline is done (e.g. a read stage at EOF).
+#pragma once
+
+#include "core/buffer.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace fg {
+
+/// What a token means.  kAbort is injected by the graph when a stage
+/// throws, so that every blocked worker wakes up and unwinds instead of
+/// hanging.
+enum class TokenKind : std::uint8_t { kBuffer, kCaboose, kClose, kAbort };
+
+/// One queue element: a kind, the pipeline it concerns, and (for kBuffer)
+/// the buffer itself.
+struct Token {
+  TokenKind kind{TokenKind::kAbort};
+  PipelineId pipeline{kNoPipeline};
+  Buffer* buffer{nullptr};
+
+  static Token of_buffer(Buffer* b) noexcept {
+    return {TokenKind::kBuffer, b->pipeline(), b};
+  }
+  static Token caboose(PipelineId p) noexcept {
+    return {TokenKind::kCaboose, p, nullptr};
+  }
+  static Token close(PipelineId p) noexcept {
+    return {TokenKind::kClose, p, nullptr};
+  }
+  static Token abort() noexcept { return {TokenKind::kAbort, kNoPipeline, nullptr}; }
+};
+
+/// MPMC blocking token queue.  capacity == 0 means unbounded (the default:
+/// pipeline buffer pools already bound the number of circulating tokens);
+/// a nonzero capacity additionally throttles how far ahead a producer may
+/// run, which the ablation benches use.
+class BufferQueue {
+ public:
+  explicit BufferQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BufferQueue(const BufferQueue&) = delete;
+  BufferQueue& operator=(const BufferQueue&) = delete;
+
+  /// Blocking push; drops the token if the queue has been aborted.
+  void push(Token t) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return aborted_ || capacity_ == 0 || q_.size() < capacity_;
+    });
+    if (aborted_) return;
+    q_.push_back(t);
+    if (q_.size() > peak_) peak_ = q_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocking pop; returns an abort token once the queue is aborted.
+  Token pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return aborted_ || !q_.empty(); });
+    if (aborted_) return Token::abort();
+    Token t = q_.front();
+    q_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return t;
+  }
+
+  /// Non-blocking pop; false if empty (or an abort token if aborted).
+  bool try_pop(Token& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) {
+      out = Token::abort();
+      return true;
+    }
+    if (q_.empty()) return false;
+    out = q_.front();
+    q_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wake every waiter and make all subsequent operations no-ops that
+  /// report abortion.  Used only for error unwinding.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return q_.size();
+  }
+
+  /// Highest occupancy ever observed (for diagnostics/benches).
+  std::size_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Token> q_;
+  std::size_t capacity_;
+  std::size_t peak_{0};
+  bool aborted_{false};
+};
+
+}  // namespace fg

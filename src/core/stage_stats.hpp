@@ -1,0 +1,27 @@
+// Per-stage timing statistics, collected by every worker thread.  These
+// are the numbers FG's overlap story is judged by: a well-overlapped
+// pipeline shows most stages spending their time blocked (yielding) while
+// exactly one high-latency operation per resource is in flight.
+#pragma once
+
+#include "util/latency.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace fg {
+
+struct StageStats {
+  std::string stage;         ///< stage name ("source"/"sink" included)
+  std::string pipelines;     ///< comma-separated member pipeline names
+  std::uint64_t buffers{0};  ///< buffers processed (emitted, for sources)
+  util::Duration working{};  ///< time inside the stage function
+  util::Duration accept_blocked{};  ///< time blocked waiting to accept
+  util::Duration convey_blocked{};  ///< time blocked waiting to convey
+
+  double working_seconds() const { return util::to_seconds(working); }
+  double accept_seconds() const { return util::to_seconds(accept_blocked); }
+  double convey_seconds() const { return util::to_seconds(convey_blocked); }
+};
+
+}  // namespace fg

@@ -1,0 +1,126 @@
+#include "pdm/disk.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace fg::pdm {
+
+File::~File() {
+  if (f_) std::fclose(f_);
+}
+
+File::File(File&& other) noexcept : f_(other.f_), name_(std::move(other.name_)) {
+  other.f_ = nullptr;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (f_) std::fclose(f_);
+    f_ = other.f_;
+    name_ = std::move(other.name_);
+    other.f_ = nullptr;
+  }
+  return *this;
+}
+
+Disk::Disk(std::filesystem::path dir, util::LatencyModel model)
+    : dir_(std::move(dir)), model_(model) {
+  std::filesystem::create_directories(dir_);
+}
+
+File Disk::create(const std::string& name) {
+  const auto path = dir_ / name;
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (!f) {
+    throw std::runtime_error("fg::pdm::Disk::create: cannot create " +
+                             path.string());
+  }
+  return File(f, name);
+}
+
+File Disk::open(const std::string& name) {
+  const auto path = dir_ / name;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (!f) {
+    throw std::runtime_error("fg::pdm::Disk::open: cannot open " +
+                             path.string());
+  }
+  return File(f, name);
+}
+
+bool Disk::exists(const std::string& name) const {
+  return std::filesystem::exists(dir_ / name);
+}
+
+void Disk::remove(const std::string& name) {
+  std::filesystem::remove(dir_ / name);
+}
+
+std::uint64_t Disk::size(const File& f) const {
+  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::size: closed file");
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(f.f_);
+  return static_cast<std::uint64_t>(
+      std::filesystem::file_size(dir_ / f.name()));
+}
+
+void Disk::charge_locked(const File& f, std::uint64_t offset,
+                         std::size_t bytes) {
+  const bool contiguous =
+      seek_aware_ && last_file_ == f.f_ && last_end_ == offset;
+  last_file_ = f.f_;
+  last_end_ = offset + bytes;
+  if (model_.is_free()) return;
+  util::Duration d = model_.cost(bytes);
+  if (contiguous) d -= model_.setup();  // the head is already there
+  if (d < util::Duration::zero()) d = util::Duration::zero();
+  stats_.busy += d;
+  if (d > util::Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+std::size_t Disk::read(const File& f, std::uint64_t offset,
+                       std::span<std::byte> out) {
+  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::read: closed file");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (::fseeko(f.f_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    throw std::runtime_error("fg::pdm::Disk::read: seek failed on " + f.name());
+  }
+  const std::size_t n = std::fread(out.data(), 1, out.size(), f.f_);
+  if (n != out.size() && std::ferror(f.f_)) {
+    throw std::runtime_error("fg::pdm::Disk::read: read failed on " + f.name());
+  }
+  ++stats_.read_ops;
+  stats_.bytes_read += n;
+  charge_locked(f, offset, n);
+  return n;
+}
+
+void Disk::write(const File& f, std::uint64_t offset,
+                 std::span<const std::byte> data) {
+  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::write: closed file");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (::fseeko(f.f_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    throw std::runtime_error("fg::pdm::Disk::write: seek failed on " +
+                             f.name());
+  }
+  const std::size_t n = std::fwrite(data.data(), 1, data.size(), f.f_);
+  if (n != data.size()) {
+    throw std::runtime_error("fg::pdm::Disk::write: write failed on " +
+                             f.name());
+  }
+  ++stats_.write_ops;
+  stats_.bytes_written += n;
+  charge_locked(f, offset, n);
+}
+
+IoStats Disk::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Disk::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = IoStats{};
+}
+
+}  // namespace fg::pdm

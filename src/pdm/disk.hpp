@@ -1,0 +1,138 @@
+// The storage substrate: one Disk per cluster node, file-backed.
+//
+// The paper's nodes each had a single Ultra-320 SCSI drive accessed
+// through the C stdio interface.  We keep the stdio fidelity (FILE*
+// underneath) and add two things the simulation needs:
+//
+//  * a per-disk mutex held for the duration of each operation, so a node's
+//    disk behaves like one spindle: concurrent stage threads serialize at
+//    the disk, which is exactly the contention the paper's unbalanced-I/O
+//    discussion is about;
+//  * an optional latency model (seek + transfer cost) charged while the
+//    mutex is held, restoring the 2005-era ratio of I/O cost to compute
+//    cost so that pass times are I/O-bound as on the real cluster.
+//
+// All operations are positioned (pread/pwrite style), because FG stages
+// on several threads interleave accesses to the same file.
+#pragma once
+
+#include "util/latency.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+namespace fg::pdm {
+
+/// Cumulative per-disk counters.
+struct IoStats {
+  std::uint64_t read_ops{0};
+  std::uint64_t bytes_read{0};
+  std::uint64_t write_ops{0};
+  std::uint64_t bytes_written{0};
+  /// Modeled time this disk spent busy (latency charges).
+  util::Duration busy{};
+};
+
+class Disk;
+
+/// Move-only RAII handle to an open file on a Disk.
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool is_open() const noexcept { return f_ != nullptr; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Disk;
+  File(std::FILE* f, std::string name) : f_(f), name_(std::move(name)) {}
+
+  std::FILE* f_{nullptr};
+  std::string name_;
+};
+
+class Disk {
+ public:
+  /// @param dir    directory backing this disk (created if absent)
+  /// @param model  per-operation cost: setup ~ seek, bandwidth ~ transfer
+  explicit Disk(std::filesystem::path dir,
+                util::LatencyModel model = util::LatencyModel::free());
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+  util::LatencyModel model() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return model_;
+  }
+
+  /// Swap the latency model.  Dataset generation and verification run
+  /// with a free model so that only the measured passes pay simulated
+  /// I/O latency.
+  void set_model(util::LatencyModel m) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = m;
+  }
+
+  /// Seek-aware mode: the model's setup cost represents the seek, so an
+  /// operation that continues exactly where the previous operation on
+  /// this disk left off (same file, next byte) pays only the transfer
+  /// cost.  Off by default: every operation pays the full setup, which
+  /// over-charges purely sequential streams but treats all programs
+  /// equally.  With it on, sequential scans speed up and interleaved
+  /// access patterns pay for their seeks — closer to a real spindle.
+  void set_seek_aware(bool on) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seek_aware_ = on;
+    last_file_ = nullptr;
+  }
+  bool seek_aware() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seek_aware_;
+  }
+
+  /// Create (truncate) a file for read/write.
+  File create(const std::string& name);
+  /// Open an existing file for read/write; throws if missing.
+  File open(const std::string& name);
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+
+  /// Current size in bytes.
+  std::uint64_t size(const File& f) const;
+
+  /// Positioned read; returns bytes actually read (short at EOF).
+  std::size_t read(const File& f, std::uint64_t offset,
+                   std::span<std::byte> out);
+
+  /// Positioned write; extends the file as needed.
+  void write(const File& f, std::uint64_t offset,
+             std::span<const std::byte> data);
+
+  IoStats stats() const;
+  void reset_stats();
+
+ private:
+  void charge_locked(const File& f, std::uint64_t offset, std::size_t bytes);
+
+  std::filesystem::path dir_;
+  util::LatencyModel model_;
+  mutable std::mutex mutex_;  ///< the "spindle": serializes all operations
+  IoStats stats_;
+  bool seek_aware_{false};
+  const std::FILE* last_file_{nullptr};  ///< head position: file...
+  std::uint64_t last_end_{0};            ///< ...and the byte after last op
+};
+
+}  // namespace fg::pdm

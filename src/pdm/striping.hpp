@@ -1,0 +1,82 @@
+// Parallel Disk Model striping (Vitter–Shriver ordering).
+//
+// A striped file of fixed-size records is split into fixed-size blocks;
+// block b lives on the disk of node (b mod P), at local block index
+// (b div P) within that node's backing file.  Both sorting programs read
+// striped input and produce striped output in this order, so the striped
+// view is the cluster-global "logical file" and this layout object is the
+// arithmetic that maps logical record positions to (node, local offset).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace fg::pdm {
+
+class StripeLayout {
+ public:
+  /// @param nodes             cluster size P
+  /// @param record_bytes      size of one record
+  /// @param records_per_block records per striping block
+  StripeLayout(int nodes, std::uint32_t record_bytes,
+               std::uint32_t records_per_block)
+      : nodes_(nodes),
+        record_bytes_(record_bytes),
+        records_per_block_(records_per_block) {
+    if (nodes <= 0 || record_bytes == 0 || records_per_block == 0) {
+      throw std::invalid_argument("fg::pdm::StripeLayout: bad parameters");
+    }
+  }
+
+  int nodes() const noexcept { return nodes_; }
+  std::uint32_t record_bytes() const noexcept { return record_bytes_; }
+  std::uint32_t records_per_block() const noexcept {
+    return records_per_block_;
+  }
+  std::uint64_t block_bytes() const noexcept {
+    return std::uint64_t{record_bytes_} * records_per_block_;
+  }
+
+  /// Global block index holding global record g.
+  std::uint64_t block_of(std::uint64_t g) const noexcept {
+    return g / records_per_block_;
+  }
+
+  /// Node whose disk holds global record g.
+  int node_of(std::uint64_t g) const noexcept {
+    return static_cast<int>(block_of(g) % static_cast<std::uint64_t>(nodes_));
+  }
+
+  /// Byte offset of global record g within its node's backing file.
+  std::uint64_t local_byte_offset(std::uint64_t g) const noexcept {
+    const std::uint64_t b = block_of(g);
+    const std::uint64_t local_block = b / static_cast<std::uint64_t>(nodes_);
+    const std::uint64_t in_block = g % records_per_block_;
+    return (local_block * records_per_block_ + in_block) * record_bytes_;
+  }
+
+  /// Number of records from g (inclusive) to the end of g's block: the
+  /// longest run starting at g that is contiguous on one disk.
+  std::uint64_t run_within_block(std::uint64_t g) const noexcept {
+    return records_per_block_ - (g % records_per_block_);
+  }
+
+  /// Number of records a node's backing file holds out of `total` records.
+  std::uint64_t node_records(int node, std::uint64_t total) const {
+    const std::uint64_t full_blocks = total / records_per_block_;
+    const std::uint64_t rem = total % records_per_block_;
+    const auto p = static_cast<std::uint64_t>(nodes_);
+    const auto n = static_cast<std::uint64_t>(node);
+    std::uint64_t blocks = full_blocks / p + (full_blocks % p > n ? 1 : 0);
+    std::uint64_t recs = blocks * records_per_block_;
+    if (rem != 0 && full_blocks % p == n) recs += rem;
+    return recs;
+  }
+
+ private:
+  int nodes_;
+  std::uint32_t record_bytes_;
+  std::uint32_t records_per_block_;
+};
+
+}  // namespace fg::pdm

@@ -1,0 +1,57 @@
+// A Workspace owns the directory tree backing a simulated cluster's
+// disks: <root>/node0, <root>/node1, ...  It creates a unique root under
+// the system temp directory (or a caller-supplied path) and removes the
+// tree on destruction unless told to keep it.
+#pragma once
+
+#include "pdm/disk.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+namespace fg::pdm {
+
+class Workspace {
+ public:
+  /// Create a workspace with one Disk per node under a fresh unique
+  /// directory in the system temp dir.
+  Workspace(int nodes, util::LatencyModel disk_model = util::LatencyModel::free());
+
+  /// Create under an explicit root (created if needed; still removed on
+  /// destruction unless keep() is called).
+  Workspace(std::filesystem::path root, int nodes,
+            util::LatencyModel disk_model);
+
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  int nodes() const noexcept { return static_cast<int>(disks_.size()); }
+  Disk& disk(int node) { return *disks_.at(static_cast<std::size_t>(node)); }
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Leave the directory tree on disk when the workspace is destroyed.
+  void keep() noexcept { keep_ = true; }
+
+  /// Sum of modeled busy time across all disks (for reports).
+  util::Duration total_disk_busy() const;
+
+  /// Swap the latency model on every disk at once.
+  void set_disk_model(util::LatencyModel m) {
+    for (auto& d : disks_) d->set_model(m);
+  }
+
+  /// Toggle seek-aware charging on every disk at once.
+  void set_seek_aware(bool on) {
+    for (auto& d : disks_) d->set_seek_aware(on);
+  }
+
+ private:
+  std::filesystem::path root_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  bool keep_{false};
+};
+
+}  // namespace fg::pdm

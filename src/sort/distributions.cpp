@@ -1,0 +1,91 @@
+#include "sort/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fg::sort {
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "Uniform random";
+    case Distribution::kAllEqual: return "All equal";
+    case Distribution::kNormal: return "Std normal";
+    case Distribution::kPoisson: return "Poisson";
+    case Distribution::kSorted: return "Pre-sorted";
+    case Distribution::kReversed: return "Reverse-sorted";
+    case Distribution::kNodeClustered: return "Node-clustered";
+  }
+  return "?";
+}
+
+std::uint64_t key_for(Distribution dist, std::uint64_t seed, std::uint64_t g,
+                      std::uint64_t total, int home_node) {
+  switch (dist) {
+    case Distribution::kUniform:
+      return util::mix64(seed ^ util::mix64(g + 1));
+    case Distribution::kAllEqual:
+      return 0x4242424242424242ULL;
+    case Distribution::kNormal: {
+      // One standard-normal variate per record, deterministically seeded
+      // by (seed, g); mapped to u64 around 2^63 with ~2^59 per unit sigma.
+      util::Xoshiro256 rng(seed ^ util::mix64(g + 0x9e37));
+      const double x = util::standard_normal(rng);
+      const double scaled = 9.223372036854776e18 + x * 5.76460752303e17;
+      if (scaled <= 0.0) return 0;
+      if (scaled >= 1.8446744073709552e19) return ~0ULL;
+      return static_cast<std::uint64_t>(scaled);
+    }
+    case Distribution::kPoisson: {
+      util::Xoshiro256 rng(seed ^ util::mix64(g + 0x7f4a));
+      // lambda = 1, as in the paper; keys land on a handful of small
+      // integers, stressing the equal-key handling.
+      return util::poisson(rng, 1.0);
+    }
+    case Distribution::kSorted:
+      return g << 8;  // strictly increasing with g
+    case Distribution::kReversed:
+      return (total - g) << 8;  // strictly decreasing with g
+    case Distribution::kNodeClustered: {
+      // One narrow key window per home node: high bits pick the window
+      // (scattered over the key space by hashing the node id), low bits
+      // add per-record noise.  All of a node's records land in one
+      // partition, so pass 1's traffic is pairwise and lopsided.
+      const std::uint64_t window =
+          util::mix64(seed ^ static_cast<std::uint64_t>(home_node + 1)) &
+          ~((1ULL << 20) - 1);
+      return window | (util::mix64(g + 17) & ((1ULL << 20) - 1));
+    }
+  }
+  throw std::invalid_argument("fg::sort::key_for: bad distribution");
+}
+
+void make_record(Distribution dist, std::uint64_t seed, std::uint64_t g,
+                 std::uint64_t total, std::span<std::byte> out,
+                 int home_node) {
+  if (out.size() < kMinRecordBytes) {
+    throw std::invalid_argument("fg::sort::make_record: record too small");
+  }
+  set_key(out.data(), key_for(dist, seed, g, total, home_node));
+  set_uid(out.data(), g);
+  // Deterministic payload filler: cheap counter-mode stream.
+  std::size_t off = 16;
+  std::uint64_t ctr = 0;
+  while (off < out.size()) {
+    const std::uint64_t w = util::mix64(seed ^ (g * 0x9e3779b97f4a7c15ULL) ^ ctr++);
+    const std::size_t n = std::min<std::size_t>(8, out.size() - off);
+    std::memcpy(out.data() + off, &w, n);
+    off += n;
+  }
+}
+
+std::uint64_t record_fingerprint_for(Distribution dist, std::uint64_t seed,
+                                     std::uint64_t g, std::uint64_t total,
+                                     std::uint32_t rec_bytes,
+                                     int home_node) {
+  std::vector<std::byte> rec(rec_bytes);
+  make_record(dist, seed, g, total, rec, home_node);
+  return record_fingerprint(rec);
+}
+
+}  // namespace fg::sort

@@ -1,0 +1,455 @@
+#include "sort/dsort.hpp"
+
+#include "core/fg.hpp"
+#include "sort/dataset.hpp"
+#include "sort/kernels.hpp"
+#include "sort/splitters.hpp"
+#include "util/timer.hpp"
+
+#include <cstring>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace fg::sort {
+
+namespace {
+
+// Application tags.  Pass 1 and pass 2 use distinct tags so a fast node
+// starting pass 2 cannot confuse a slow node still finishing pass 1.
+constexpr int kTagData = 200;      // pass 1: partition records
+constexpr int kTagDone = 201;      // pass 1: sender finished
+constexpr int kTagOut = 202;       // pass 2: striped output chunk
+constexpr int kTagOutDone = 203;   // pass 2: sender finished
+
+/// One sorted run on a node's disk: record offset within the runs file
+/// and record count.
+struct Run {
+  std::uint64_t offset;
+  std::uint64_t count;
+};
+
+/// Cross-phase per-node state, owned by the driver.
+struct NodeState {
+  std::vector<ExtKey> splitters;
+  std::vector<Run> runs;
+  std::uint64_t received_records{0};
+};
+
+/// The common stage of the intersecting pipelines in pass 2: a k-way
+/// merge fed by the vertical (per-run) pipelines, emitting filled buffers
+/// into the horizontal pipeline.  Each horizontal buffer is tagged with
+/// the global record position its first record will occupy in the final
+/// striped output.
+class MergeStage final : public Stage {
+ public:
+  MergeStage(std::vector<Pipeline*> verticals, Pipeline& horizontal,
+             std::uint64_t global_start, std::uint32_t rec_bytes,
+             util::LatencyModel compute)
+      : Stage("merge"),
+        verticals_(std::move(verticals)),
+        horizontal_(&horizontal),
+        global_start_(global_start),
+        rec_(rec_bytes),
+        compute_(compute) {}
+
+  void run(StageContext& ctx) override {
+    struct Cursor {
+      Buffer* b{nullptr};
+      std::size_t i{0};
+      std::size_t n{0};
+    };
+    const std::size_t k = verticals_.size();
+    std::vector<Cursor> cur(k);
+
+    using HeapItem = std::pair<std::uint64_t, std::uint32_t>;  // (key, run)
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>> heap;
+
+    auto load = [&](std::uint32_t v) {
+      Buffer* b = ctx.accept(*verticals_[v]);
+      if (b == nullptr) {
+        cur[v] = Cursor{};
+        return;
+      }
+      cur[v] = Cursor{b, 0, b->size() / rec_};
+      heap.emplace(key_of(b->contents().data()), v);
+    };
+    for (std::uint32_t v = 0; v < k; ++v) load(v);
+
+    Buffer* out = ctx.accept(*horizontal_);
+    std::uint64_t emitted = 0;
+    std::size_t oi = 0;
+    std::size_t ocap = out->capacity() / rec_;
+    out->set_tag(global_start_);
+
+    while (!heap.empty()) {
+      const auto [key, v] = heap.top();
+      heap.pop();
+      Cursor& c = cur[v];
+      std::memcpy(out->data().data() + oi * rec_,
+                  c.b->contents().data() + c.i * rec_, rec_);
+      ++oi;
+      ++c.i;
+      if (c.i == c.n) {
+        // Spent input buffer: convey it to its own vertical sink for
+        // recycling, then accept the run's next buffer (if any).
+        ctx.convey(c.b);
+        load(v);
+      } else {
+        heap.emplace(key_of(c.b->contents().data() + c.i * rec_), v);
+      }
+      if (oi == ocap) {
+        out->set_size(oi * rec_);
+        compute_.charge(out->size());
+        ctx.convey(out);
+        emitted += oi;
+        out = ctx.accept(*horizontal_);
+        out->set_tag(global_start_ + emitted);
+        oi = 0;
+        ocap = out->capacity() / rec_;
+      }
+    }
+    if (oi > 0) {
+      out->set_size(oi * rec_);
+      compute_.charge(out->size());
+      ctx.convey(out);
+    } else {
+      ctx.recycle(out);
+    }
+    ctx.close(*horizontal_);
+  }
+
+ private:
+  std::vector<Pipeline*> verticals_;
+  Pipeline* horizontal_;
+  std::uint64_t global_start_;
+  std::uint32_t rec_;
+  util::LatencyModel compute_;
+};
+
+void check_config(const comm::Cluster& cluster, const pdm::Workspace& ws,
+                  const SortConfig& cfg) {
+  if (cfg.nodes != cluster.size() || cfg.nodes != ws.nodes()) {
+    throw std::invalid_argument(
+        "fg::sort::run_dsort: cluster/workspace/config node counts differ");
+  }
+  if (cfg.record_bytes < kMinRecordBytes) {
+    throw std::invalid_argument("fg::sort::run_dsort: record_bytes too small");
+  }
+  if (cfg.buffer_records == 0 || cfg.merge_buffer_records == 0 ||
+      cfg.out_buffer_records == 0) {
+    throw std::invalid_argument("fg::sort::run_dsort: zero buffer size");
+  }
+}
+
+}  // namespace
+
+SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
+                     const SortConfig& cfg) {
+  check_config(cluster, ws, cfg);
+  const pdm::StripeLayout layout = layout_of(cfg);
+  const std::uint32_t rec = cfg.record_bytes;
+  const int p = cfg.nodes;
+
+  std::vector<NodeState> states(static_cast<std::size_t>(p));
+  comm::Fabric& fabric = cluster.fabric();
+
+  SortResult result;
+  result.records = cfg.records;
+
+  // ------------------------------------------------------------------
+  // Phase 0: splitter selection by oversampling.
+  // ------------------------------------------------------------------
+  {
+    util::Stopwatch sw;
+    cluster.run([&](comm::NodeId me) {
+      pdm::Disk& disk = ws.disk(me);
+      pdm::File input = disk.open(cfg.input_name);
+      states[static_cast<std::size_t>(me)].splitters =
+          select_splitters(fabric, me, disk, input, cfg);
+    });
+    result.times.sampling = sw.elapsed_seconds();
+  }
+
+  // ------------------------------------------------------------------
+  // Pass 1: partition and distribute; write sorted runs.
+  // ------------------------------------------------------------------
+  {
+    util::Stopwatch sw;
+    cluster.run([&](comm::NodeId me) {
+      NodeState& st = states[static_cast<std::size_t>(me)];
+      pdm::Disk& disk = ws.disk(me);
+      pdm::File input = disk.open(cfg.input_name);
+      pdm::File runs_file = disk.create("runs");
+
+      PipelineGraph graph;
+      PipelineConfig send_cfg;
+      send_cfg.name = "send";
+      send_cfg.num_buffers = cfg.num_buffers;
+      send_cfg.buffer_bytes = cfg.buffer_records * rec;
+      send_cfg.aux_buffers = true;
+      PipelineConfig recv_cfg = send_cfg;
+      recv_cfg.name = "receive";
+      Pipeline& sp = graph.add_pipeline(send_cfg);
+      Pipeline& rp = graph.add_pipeline(recv_cfg);
+
+      // --- send pipeline: read -> permute -> send -----------------------
+      const std::uint64_t local_records = layout.node_records(me, cfg.records);
+      std::uint64_t read_off = 0;
+      MapStage read("read", [&, me](Buffer& b) {
+        (void)me;
+        const std::uint64_t n =
+            std::min<std::uint64_t>(cfg.buffer_records, local_records - read_off);
+        if (n == 0) return StageAction::kRecycleAndClose;
+        disk.read(input, read_off * rec, b.data().first(n * rec));
+        b.set_size(n * rec);
+        read_off += n;
+        return StageAction::kConvey;
+      });
+
+      // Partition-group counts travel beside the buffer from permute to
+      // send (keyed by buffer identity; buffers are stable objects).
+      std::mutex counts_mutex;
+      std::unordered_map<Buffer*, std::vector<std::uint32_t>> counts_map;
+      MapStage permute("permute", [&](Buffer& b) {
+        auto counts = partition_records(b.contents(), rec, st.splitters,
+                                        b.aux().first(b.size()));
+        b.swap_aux();
+        std::lock_guard<std::mutex> lock(counts_mutex);
+        counts_map[&b] = std::move(counts);
+        return StageAction::kConvey;
+      });
+
+      MapStage send(
+          "send",
+          [&, me](Buffer& b) {
+            std::vector<std::uint32_t> counts;
+            {
+              std::lock_guard<std::mutex> lock(counts_mutex);
+              auto it = counts_map.find(&b);
+              counts = std::move(it->second);
+              counts_map.erase(it);
+            }
+            const std::byte* ptr = b.contents().data();
+            std::uint64_t off = 0;
+            for (int d = 0; d < p; ++d) {
+              const std::uint32_t c = counts[static_cast<std::size_t>(d)];
+              if (c != 0) {
+                fabric.send(me, d, kTagData, {ptr + off * rec, std::size_t{c} * rec});
+                off += c;
+              }
+            }
+            return StageAction::kConvey;
+          },
+          [&, me](PipelineId) {
+            for (int d = 0; d < p; ++d) fabric.send(me, d, kTagDone, {});
+          });
+
+      sp.add_stage(read);
+      sp.add_stage(permute);
+      sp.add_stage(send);
+
+      // --- receive pipeline: receive -> sort -> write --------------------
+      int dones = 0;
+      std::vector<std::byte> pending;
+      std::size_t pending_off = 0;
+      std::vector<std::byte> tmp(cfg.buffer_records * rec);
+      MapStage receive("receive", [&, me](Buffer& b) {
+        const std::size_t cap = b.capacity();
+        std::size_t fill = 0;
+        auto out = b.data();
+        for (;;) {
+          if (pending_off < pending.size()) {
+            const std::size_t take =
+                std::min(pending.size() - pending_off, cap - fill);
+            std::memcpy(out.data() + fill, pending.data() + pending_off, take);
+            fill += take;
+            pending_off += take;
+            if (fill == cap) break;
+            continue;
+          }
+          if (dones == p) break;
+          const comm::RecvResult rr =
+              fabric.recv(me, comm::kAnySource, comm::kAnyTag, tmp);
+          if (rr.tag == kTagDone) {
+            ++dones;
+            continue;
+          }
+          pending.assign(tmp.begin(),
+                         tmp.begin() + static_cast<std::ptrdiff_t>(rr.bytes));
+          pending_off = 0;
+        }
+        b.set_size(fill);
+        const bool finished = dones == p && pending_off >= pending.size();
+        if (finished) {
+          return fill > 0 ? StageAction::kConveyAndClose
+                          : StageAction::kRecycleAndClose;
+        }
+        return StageAction::kConvey;
+      });
+
+      MapStage sort_stage("sort", [&](Buffer& b) {
+        sort_records(b.contents(), rec, b.aux());
+        cfg.compute_model.charge(b.size());
+        return StageAction::kConvey;
+      });
+
+      std::uint64_t write_off = 0;
+      MapStage write("write", [&](Buffer& b) {
+        disk.write(runs_file, write_off * rec, b.contents());
+        const std::uint64_t n = b.size() / rec;
+        st.runs.push_back(Run{write_off, n});
+        st.received_records += n;
+        write_off += n;
+        return StageAction::kConvey;
+      });
+
+      rp.add_stage(receive);
+      rp.add_stage(sort_stage);
+      rp.add_stage(write);
+
+      graph.run();
+    });
+    result.times.passes.push_back(sw.elapsed_seconds());
+  }
+
+  // ------------------------------------------------------------------
+  // Pass 2: merge runs; load-balance and stripe the output.
+  // ------------------------------------------------------------------
+  {
+    util::Stopwatch sw;
+    cluster.run([&](comm::NodeId me) {
+      NodeState& st = states[static_cast<std::size_t>(me)];
+      pdm::Disk& disk = ws.disk(me);
+      pdm::File runs_file = disk.open("runs");
+      pdm::File out_file = disk.create(cfg.output_name);
+
+      // Load balancing: partition sizes differ across nodes, so compute
+      // where this node's merged stream starts in the global output.
+      const std::vector<std::uint64_t> counts =
+          fabric.allgather_u64(me, st.received_records);
+      std::uint64_t global_start = 0;
+      for (int i = 0; i < me; ++i) {
+        global_start += counts[static_cast<std::size_t>(i)];
+      }
+
+      PipelineGraph graph;
+
+      // Vertical pipelines: one per sorted run, with a single *virtual*
+      // read stage shared by all of them.  The buffer's pipeline id picks
+      // the run to read from.
+      const std::size_t k = st.runs.size();
+      std::vector<Pipeline*> verticals;
+      verticals.reserve(k);
+      std::vector<std::uint64_t> consumed(k, 0);
+      MapStage vread("read-run", [&](Buffer& b) {
+        const auto run_index = static_cast<std::size_t>(b.pipeline());
+        const Run& run = st.runs[run_index];
+        const std::uint64_t rem = run.count - consumed[run_index];
+        const std::uint64_t n =
+            std::min<std::uint64_t>(cfg.merge_buffer_records, rem);
+        if (n == 0) return StageAction::kRecycleAndClose;
+        disk.read(runs_file, (run.offset + consumed[run_index]) * rec,
+                  b.data().first(n * rec));
+        consumed[run_index] += n;
+        b.set_size(n * rec);
+        return StageAction::kConvey;
+      });
+
+      for (std::size_t v = 0; v < k; ++v) {
+        PipelineConfig vc;
+        vc.name = "run" + std::to_string(v);
+        vc.num_buffers = cfg.merge_num_buffers;
+        vc.buffer_bytes = cfg.merge_buffer_records * rec;
+        Pipeline& pv = graph.add_pipeline(vc);
+        pv.add_stage(vread, StageMode::kVirtual);
+        verticals.push_back(&pv);
+      }
+
+      // Horizontal pipeline: merge (common stage) -> send.
+      PipelineConfig hc;
+      hc.name = "merged";
+      hc.num_buffers = cfg.out_num_buffers;
+      hc.buffer_bytes = cfg.out_buffer_records * rec;
+      Pipeline& hp = graph.add_pipeline(hc);
+
+      MergeStage merge(verticals, hp, global_start, rec, cfg.compute_model);
+      for (Pipeline* pv : verticals) pv->add_stage(merge);
+      hp.add_stage(merge);
+
+      std::vector<std::byte> msg;
+      MapStage hsend(
+          "send",
+          [&, me](Buffer& b) {
+            std::uint64_t g = b.tag();
+            const std::uint64_t n = b.size() / rec;
+            const std::byte* ptr = b.contents().data();
+            std::uint64_t done = 0;
+            while (done < n) {
+              // Longest chunk that stays within one striped block, i.e.
+              // lands contiguously on one node's disk.
+              const std::uint64_t c =
+                  std::min(layout.run_within_block(g), n - done);
+              const int dst = layout.node_of(g);
+              msg.resize(8 + c * rec);
+              std::memcpy(msg.data(), &g, 8);
+              std::memcpy(msg.data() + 8, ptr + done * rec, c * rec);
+              fabric.send(me, dst, kTagOut, msg);
+              done += c;
+              g += c;
+            }
+            return StageAction::kConvey;
+          },
+          [&, me](PipelineId) {
+            for (int d = 0; d < p; ++d) fabric.send(me, d, kTagOutDone, {});
+          });
+      hp.add_stage(hsend);
+
+      // Receive pipeline: receive -> write (positioned, local).
+      PipelineConfig rc;
+      rc.name = "receive";
+      rc.num_buffers = cfg.out_num_buffers;
+      rc.buffer_bytes = std::size_t{cfg.block_records} * rec;
+      Pipeline& rp = graph.add_pipeline(rc);
+
+      int dones = 0;
+      std::vector<std::byte> tmp(8 + std::size_t{cfg.block_records} * rec);
+      MapStage receive("receive", [&, me](Buffer& b) {
+        for (;;) {
+          if (dones == p) return StageAction::kRecycleAndClose;
+          const comm::RecvResult rr =
+              fabric.recv(me, comm::kAnySource, comm::kAnyTag, tmp);
+          if (rr.tag == kTagOutDone) {
+            ++dones;
+            continue;
+          }
+          std::uint64_t g;
+          std::memcpy(&g, tmp.data(), 8);
+          const std::size_t bytes = rr.bytes - 8;
+          std::memcpy(b.data().data(), tmp.data() + 8, bytes);
+          b.set_size(bytes);
+          b.set_tag(g);
+          return StageAction::kConvey;
+        }
+      });
+
+      MapStage write("write", [&](Buffer& b) {
+        disk.write(out_file, layout.local_byte_offset(b.tag()), b.contents());
+        return StageAction::kConvey;
+      });
+
+      rp.add_stage(receive);
+      rp.add_stage(write);
+
+      graph.run();
+    });
+    result.times.passes.push_back(sw.elapsed_seconds());
+  }
+
+  return result;
+}
+
+}  // namespace fg::sort

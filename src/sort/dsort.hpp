@@ -1,0 +1,42 @@
+// dsort: the paper's out-of-core distribution sort (Section V).
+//
+// Phase 0 (preprocessing): splitter selection by oversampling.
+//
+// Pass 1 (partitioning and distribution): each node runs two *disjoint*
+// FG pipelines, because the rate at which a node sends records almost
+// certainly differs from the rate at which it receives them:
+//
+//   send pipeline:     source -> read -> permute -> send -> sink
+//   receive pipeline:  source -> receive -> sort -> write -> sink
+//
+// The read stage streams the node's striped input; permute rearranges
+// each buffer so records of the same partition are contiguous (using the
+// buffer's auxiliary block, so the permutation is out-of-place); send
+// doles the groups out to their target nodes.  The receive stage packs
+// incoming records into pipeline buffers; each filled buffer is sorted
+// and written to disk as one sorted run.
+//
+// Pass 2 (merging, load-balancing, striping): each node merges its runs
+// with *intersecting* pipelines — one vertical pipeline per run, all of
+// whose read stages are *virtual* (one thread, one shared queue), meeting
+// a common merge stage that emits into a horizontal pipeline — plus a
+// disjoint receive pipeline, since the merged stream is redistributed
+// across the cluster to produce load-balanced, PDM-striped output:
+//
+//   vertical (xk):     source -> read(virtual) -> [merge]
+//   horizontal:        source -> [merge] -> send -> sink
+//   receive pipeline:  source -> receive -> write -> sink
+#pragma once
+
+#include "comm/cluster.hpp"
+#include "pdm/workspace.hpp"
+#include "sort/config.hpp"
+
+namespace fg::sort {
+
+/// Run dsort on the cluster over the workspace's striped input file,
+/// producing the striped output file.  Returns per-phase wall times.
+SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
+                     const SortConfig& cfg);
+
+}  // namespace fg::sort

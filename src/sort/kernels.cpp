@@ -1,0 +1,173 @@
+#include "sort/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace fg::sort {
+
+namespace {
+
+/// 16-byte records are exactly (key, uid) pairs; sort them directly.
+struct Rec16 {
+  std::uint64_t key;
+  std::uint64_t uid;
+};
+static_assert(sizeof(Rec16) == 16);
+
+bool operator<(const Rec16& a, const Rec16& b) noexcept {
+  if (a.key != b.key) return a.key < b.key;
+  return util::mix64(a.uid) < util::mix64(b.uid);
+}
+
+void check_args(std::size_t bytes, std::uint32_t rec_bytes) {
+  if (rec_bytes < kMinRecordBytes) {
+    throw std::invalid_argument("fg::sort: record size must be >= 16 bytes");
+  }
+  if (bytes % rec_bytes != 0) {
+    throw std::invalid_argument(
+        "fg::sort: byte range is not a whole number of records");
+  }
+}
+
+}  // namespace
+
+void sort_records(std::span<std::byte> data, std::uint32_t rec_bytes,
+                  std::span<std::byte> scratch) {
+  check_args(data.size(), rec_bytes);
+  const std::size_t n = data.size() / rec_bytes;
+  if (n <= 1) return;
+
+  if (rec_bytes == sizeof(Rec16)) {
+    auto* recs = reinterpret_cast<Rec16*>(data.data());
+    std::sort(recs, recs + n);
+    return;
+  }
+
+  if (scratch.size() < data.size()) {
+    throw std::invalid_argument("fg::sort::sort_records: scratch too small");
+  }
+  // Key-index sort, then one gather pass: wide records move exactly once.
+  struct KeyIdx {
+    ExtKey key;
+    std::uint32_t idx;
+  };
+  std::vector<KeyIdx> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = {ext_key_of(data.data() + i * rec_bytes),
+                static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end(),
+            [](const KeyIdx& a, const KeyIdx& b) { return a.key < b.key; });
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(scratch.data() + i * rec_bytes,
+                data.data() + std::size_t{order[i].idx} * rec_bytes,
+                rec_bytes);
+  }
+  std::memcpy(data.data(), scratch.data(), n * rec_bytes);
+}
+
+std::size_t partition_of(const ExtKey& k, std::span<const ExtKey> splitters) {
+  // Number of splitters < k == index of the first splitter >= k.
+  return static_cast<std::size_t>(
+      std::lower_bound(splitters.begin(), splitters.end(), k) -
+      splitters.begin());
+}
+
+std::vector<std::uint32_t> partition_records(
+    std::span<const std::byte> data, std::uint32_t rec_bytes,
+    std::span<const ExtKey> splitters, std::span<std::byte> out) {
+  check_args(data.size(), rec_bytes);
+  if (out.size() < data.size()) {
+    throw std::invalid_argument("fg::sort::partition_records: out too small");
+  }
+  const std::size_t n = data.size() / rec_bytes;
+  const std::size_t groups = splitters.size() + 1;
+
+  std::vector<std::uint32_t> counts(groups, 0);
+  std::vector<std::uint32_t> group_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto g = static_cast<std::uint32_t>(
+        partition_of(ext_key_of(data.data() + i * rec_bytes), splitters));
+    group_of[i] = g;
+    ++counts[g];
+  }
+  std::vector<std::uint64_t> cursor(groups, 0);
+  std::uint64_t acc = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    cursor[g] = acc;
+    acc += counts[g];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + cursor[group_of[i]]++ * rec_bytes,
+                data.data() + i * rec_bytes, rec_bytes);
+  }
+  return counts;
+}
+
+void merge_records(std::span<const std::byte> a, std::span<const std::byte> b,
+                   std::uint32_t rec_bytes, std::span<std::byte> out) {
+  check_args(a.size(), rec_bytes);
+  check_args(b.size(), rec_bytes);
+  if (out.size() < a.size() + b.size()) {
+    throw std::invalid_argument("fg::sort::merge_records: out too small");
+  }
+  std::size_t ia = 0, ib = 0, io = 0;
+  const std::size_t na = a.size() / rec_bytes, nb = b.size() / rec_bytes;
+  while (ia < na && ib < nb) {
+    const std::byte* pa = a.data() + ia * rec_bytes;
+    const std::byte* pb = b.data() + ib * rec_bytes;
+    if (key_of(pb) < key_of(pa)) {
+      std::memcpy(out.data() + io++ * rec_bytes, pb, rec_bytes);
+      ++ib;
+    } else {
+      std::memcpy(out.data() + io++ * rec_bytes, pa, rec_bytes);
+      ++ia;
+    }
+  }
+  if (ia < na) {
+    std::memcpy(out.data() + io * rec_bytes, a.data() + ia * rec_bytes,
+                (na - ia) * rec_bytes);
+    io += na - ia;
+  }
+  if (ib < nb) {
+    std::memcpy(out.data() + io * rec_bytes, b.data() + ib * rec_bytes,
+                (nb - ib) * rec_bytes);
+  }
+}
+
+void gather_strided(std::span<const std::byte> in, std::uint32_t rec_bytes,
+                    std::size_t start, std::size_t stride, std::size_t count,
+                    std::span<std::byte> out) {
+  assert(out.size() >= count * rec_bytes);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(out.data() + i * rec_bytes,
+                in.data() + (start + i * stride) * rec_bytes, rec_bytes);
+  }
+}
+
+void scatter_strided(std::span<const std::byte> in, std::uint32_t rec_bytes,
+                     std::size_t start, std::size_t stride, std::size_t count,
+                     std::span<std::byte> out) {
+  assert(in.size() >= count * rec_bytes);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(out.data() + (start + i * stride) * rec_bytes,
+                in.data() + i * rec_bytes, rec_bytes);
+  }
+}
+
+bool is_sorted_records(std::span<const std::byte> data,
+                       std::uint32_t rec_bytes) {
+  check_args(data.size(), rec_bytes);
+  const std::size_t n = data.size() / rec_bytes;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (key_of(data.data() + i * rec_bytes) <
+        key_of(data.data() + (i - 1) * rec_bytes)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fg::sort

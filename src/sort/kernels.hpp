@@ -1,0 +1,56 @@
+// In-memory record kernels used by the pipeline stages: sorting a buffer
+// of records, partitioning by splitters, and the scatter/gather helpers
+// csort's strided permutations need.  All kernels are synchronous,
+// CPU-only, and operate on raw byte ranges so the same code serves 16- and
+// 64-byte records (or any size >= 16).
+#pragma once
+
+#include "sort/record.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fg::sort {
+
+/// Sort `n = data.size()/rec_bytes` records in place by sort key (ties
+/// broken by extended key so the result is deterministic).  `scratch`
+/// must be at least data.size() bytes; it is used to gather records after
+/// a key-index sort, which avoids moving wide records O(n log n) times.
+void sort_records(std::span<std::byte> data, std::uint32_t rec_bytes,
+                  std::span<std::byte> scratch);
+
+/// Stable-partition records into `splitters.size() + 1` groups by
+/// extended key: group i gets records with splitter[i-1] < ext <=
+/// splitter[i] (in the usual upper-bound sense).  Writes the permuted
+/// records to `out` (same size as data) and returns the record count per
+/// group.
+std::vector<std::uint32_t> partition_records(
+    std::span<const std::byte> data, std::uint32_t rec_bytes,
+    std::span<const ExtKey> splitters, std::span<std::byte> out);
+
+/// Partition index (0..splitters.size()) a record with extended key `k`
+/// belongs to: the number of splitters strictly less than `k`.
+std::size_t partition_of(const ExtKey& k, std::span<const ExtKey> splitters);
+
+/// Merge two sorted record ranges by key into `out` (sized for both).
+void merge_records(std::span<const std::byte> a, std::span<const std::byte> b,
+                   std::uint32_t rec_bytes, std::span<std::byte> out);
+
+/// Gather records at positions start, start+stride, ... from `in` into a
+/// contiguous prefix of `out` (`count` records).
+void gather_strided(std::span<const std::byte> in, std::uint32_t rec_bytes,
+                    std::size_t start, std::size_t stride, std::size_t count,
+                    std::span<std::byte> out);
+
+/// Scatter `count` contiguous records from `in` to positions start,
+/// start+stride, ... of `out`.
+void scatter_strided(std::span<const std::byte> in, std::uint32_t rec_bytes,
+                     std::size_t start, std::size_t stride, std::size_t count,
+                     std::span<std::byte> out);
+
+/// True if the records are sorted by key (non-decreasing).
+bool is_sorted_records(std::span<const std::byte> data,
+                       std::uint32_t rec_bytes);
+
+}  // namespace fg::sort

@@ -1,0 +1,111 @@
+// Record format shared by both sorting programs.
+//
+// The paper sorts fixed-size records consisting of a sort key and payload;
+// its experiments use 16-byte and 64-byte records.  We lay records out as:
+//
+//   bytes [0, 8)   little-endian/native uint64 sort key
+//   bytes [8, 16)  uint64 unique id (assigned at generation time)
+//   bytes [16, R)  payload (deterministic filler)
+//
+// The unique id serves two purposes.  First, it makes the *extended key*
+// (key, mix64(id)) unique even when sort keys collide, which is how the
+// paper keeps partitions balanced under the all-keys-equal distribution:
+// splitters are extended keys, and routing compares extended keys, but the
+// extension "never actually becomes part of any record".  Second, it lets
+// verification confirm the output is a permutation of the input without
+// keeping the input around.
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace fg::sort {
+
+/// Minimum legal record size (key + unique id).
+inline constexpr std::uint32_t kMinRecordBytes = 16;
+
+/// Read the sort key of the record starting at `p`.
+inline std::uint64_t key_of(const std::byte* p) noexcept {
+  std::uint64_t k;
+  std::memcpy(&k, p, sizeof k);
+  return k;
+}
+
+/// Read the unique id of the record starting at `p`.
+inline std::uint64_t uid_of(const std::byte* p) noexcept {
+  std::uint64_t u;
+  std::memcpy(&u, p + 8, sizeof u);
+  return u;
+}
+
+inline void set_key(std::byte* p, std::uint64_t k) noexcept {
+  std::memcpy(p, &k, sizeof k);
+}
+inline void set_uid(std::byte* p, std::uint64_t u) noexcept {
+  std::memcpy(p + 8, &u, sizeof u);
+}
+
+/// The extended key: the sort key plus a uniquifier derived from the
+/// record's unique id.  mix64 scatters ids so that runs of equal keys
+/// spread uniformly across partitions instead of by generation order.
+struct ExtKey {
+  std::uint64_t key;
+  std::uint64_t tie;
+
+  friend constexpr auto operator<=>(const ExtKey&, const ExtKey&) = default;
+};
+
+/// Extended key of the record starting at `p`.
+inline ExtKey ext_key_of(const std::byte* p) noexcept {
+  return ExtKey{key_of(p), util::mix64(uid_of(p))};
+}
+
+/// Order-independent fingerprint of one record's full contents; summed
+/// (mod 2^64) over a dataset it detects lost, duplicated, or corrupted
+/// records regardless of order.
+inline std::uint64_t record_fingerprint(std::span<const std::byte> rec) noexcept {
+  // FNV-1a over the record bytes, then mix so sums don't cancel easily.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::byte b : rec) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return util::mix64(h);
+}
+
+/// A view over a flat byte range interpreted as records of `rec_bytes`.
+class RecordSpan {
+ public:
+  RecordSpan(std::span<std::byte> bytes, std::uint32_t rec_bytes) noexcept
+      : bytes_(bytes), rec_(rec_bytes) {}
+
+  std::size_t count() const noexcept { return bytes_.size() / rec_; }
+  std::uint32_t record_bytes() const noexcept { return rec_; }
+
+  std::byte* at(std::size_t i) noexcept { return bytes_.data() + i * rec_; }
+  const std::byte* at(std::size_t i) const noexcept {
+    return bytes_.data() + i * rec_;
+  }
+
+  std::uint64_t key(std::size_t i) const noexcept { return key_of(at(i)); }
+  ExtKey ext_key(std::size_t i) const noexcept { return ext_key_of(at(i)); }
+
+  std::span<std::byte> record(std::size_t i) noexcept {
+    return bytes_.subspan(i * rec_, rec_);
+  }
+  std::span<const std::byte> record(std::size_t i) const noexcept {
+    return bytes_.subspan(i * rec_, rec_);
+  }
+
+  std::span<std::byte> bytes() const noexcept { return bytes_; }
+
+ private:
+  std::span<std::byte> bytes_;
+  std::uint32_t rec_;
+};
+
+}  // namespace fg::sort

@@ -1,0 +1,89 @@
+#include "sort/splitters.hpp"
+
+#include "sort/dataset.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fg::sort {
+
+namespace {
+constexpr int kTagSample = 100;
+
+std::span<std::byte> keys_as_bytes(std::vector<ExtKey>& v) {
+  return {reinterpret_cast<std::byte*>(v.data()), v.size() * sizeof(ExtKey)};
+}
+}  // namespace
+
+std::vector<ExtKey> select_splitters(comm::Fabric& fabric, comm::NodeId me,
+                                     pdm::Disk& disk, pdm::File& input,
+                                     const SortConfig& cfg) {
+  const pdm::StripeLayout layout = layout_of(cfg);
+  const std::uint64_t local_records =
+      layout.node_records(me, cfg.records);
+  const auto m = static_cast<std::uint64_t>(cfg.oversample);
+  const int p = fabric.size();
+
+  // Draw m records from a handful of random blocks.  Reading whole
+  // blocks instead of m scattered records keeps the sampling phase's
+  // seek count — and therefore its time — negligible next to the passes,
+  // as the paper reports.
+  util::Xoshiro256 rng(cfg.seed ^ util::mix64(0xabcdULL + static_cast<std::uint64_t>(me)));
+  std::vector<ExtKey> samples;
+  samples.reserve(m);
+  if (local_records == 0) {
+    // Degenerate share: contribute maximal keys so they never split real
+    // data unevenly.
+    samples.assign(m, ExtKey{~0ULL, ~0ULL});
+  } else {
+    const std::uint64_t local_blocks =
+        (local_records + cfg.block_records - 1) / cfg.block_records;
+    const std::uint64_t probe_blocks =
+        std::min<std::uint64_t>(local_blocks, std::max<std::uint64_t>(4, m / 32));
+    std::vector<std::byte> block(std::size_t{cfg.block_records} *
+                                 cfg.record_bytes);
+    std::uint64_t drawn = 0;
+    for (std::uint64_t b = 0; b < probe_blocks; ++b) {
+      const std::uint64_t blk = rng.below(local_blocks);
+      const std::size_t got = disk.read(
+          input, blk * cfg.block_records * cfg.record_bytes, block);
+      const std::uint64_t in_block = got / cfg.record_bytes;
+      const std::uint64_t want =
+          std::min(in_block, (m - drawn) / (probe_blocks - b) + 1);
+      for (std::uint64_t i = 0; i < want && drawn < m; ++i, ++drawn) {
+        const std::uint64_t r = rng.below(in_block);
+        samples.push_back(ext_key_of(block.data() + r * cfg.record_bytes));
+      }
+    }
+    while (drawn < m) {  // degenerate tiny shares: repeat what we have
+      samples.push_back(samples[drawn % samples.size()]);
+      ++drawn;
+    }
+  }
+
+  std::vector<ExtKey> splitters(static_cast<std::size_t>(p - 1));
+  if (p == 1) return splitters;
+
+  if (me == 0) {
+    std::vector<ExtKey> all;
+    all.reserve(m * static_cast<std::uint64_t>(p));
+    all.insert(all.end(), samples.begin(), samples.end());
+    std::vector<ExtKey> incoming(m);
+    for (comm::NodeId n = 1; n < p; ++n) {
+      fabric.recv(0, n, kTagSample, keys_as_bytes(incoming));
+      all.insert(all.end(), incoming.begin(), incoming.end());
+    }
+    std::sort(all.begin(), all.end());
+    for (int i = 1; i < p; ++i) {
+      splitters[static_cast<std::size_t>(i - 1)] =
+          all[static_cast<std::size_t>(i) * m];
+    }
+  } else {
+    fabric.send(me, 0, kTagSample, keys_as_bytes(samples));
+  }
+  fabric.broadcast(me, 0, keys_as_bytes(splitters));
+  return splitters;
+}
+
+}  // namespace fg::sort

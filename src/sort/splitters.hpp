@@ -1,0 +1,29 @@
+// Splitter selection by oversampling (Blelloch et al.; Seshadri &
+// Naughton), the preprocessing phase of dsort.
+//
+// Every node draws `oversample` records uniformly at random from its
+// local striped share of the input and ships their *extended keys* to
+// node 0.  Node 0 sorts the P*oversample samples, picks the extended keys
+// at ranks oversample, 2*oversample, ..., (P-1)*oversample as splitters,
+// and broadcasts them.  Routing by extended key keeps partitions balanced
+// even when sort keys are heavily duplicated (the all-equal and Poisson
+// distributions), because the tie-breaking component is uniformly
+// distributed.
+#pragma once
+
+#include "comm/fabric.hpp"
+#include "pdm/disk.hpp"
+#include "pdm/striping.hpp"
+#include "sort/config.hpp"
+
+#include <vector>
+
+namespace fg::sort {
+
+/// Collective: every node of the cluster must call this.  Returns the
+/// P-1 extended-key splitters (identical on every node).
+std::vector<ExtKey> select_splitters(comm::Fabric& fabric, comm::NodeId me,
+                                     pdm::Disk& disk, pdm::File& input,
+                                     const SortConfig& cfg);
+
+}  // namespace fg::sort

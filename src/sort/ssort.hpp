@@ -1,0 +1,28 @@
+// ssort: a deliberately synchronous distribution sort — dsort's exact
+// algorithm (same splitters, same passes, same I/O and communication
+// volumes) executed without FG.
+//
+// Each node runs one thread that performs every operation in program
+// order: read a buffer, partition it, send the groups, drain whatever has
+// arrived, sort and write full runs, repeat.  Nothing overlaps: while the
+// disk reads, the network idles; while a run is written, arriving data
+// waits in the fabric.  This is the "hand-coded, no-pipelining" baseline
+// that FG's early papers compare against, and the end-to-end measure of
+// what the pipeline overlap in dsort actually buys.
+//
+// The output is identical to dsort's (striped PDM order, verified by the
+// same checker), so any wall-clock difference is attributable to overlap
+// alone.
+#pragma once
+
+#include "comm/cluster.hpp"
+#include "pdm/workspace.hpp"
+#include "sort/config.hpp"
+
+namespace fg::sort {
+
+/// Run the synchronous distribution sort.  Same contract as run_dsort.
+SortResult run_ssort(comm::Cluster& cluster, pdm::Workspace& ws,
+                     const SortConfig& cfg);
+
+}  // namespace fg::sort

@@ -1,0 +1,13 @@
+#include "util/latency.hpp"
+
+#include <thread>
+
+namespace fg::util {
+
+void LatencyModel::charge(std::size_t bytes) const {
+  if (is_free()) return;
+  const Duration d = cost(bytes);
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+}  // namespace fg::util

@@ -1,0 +1,83 @@
+// Latency cost models for the simulated substrates.
+//
+// The paper ran on hardware whose high-latency operations (Ultra-320 SCSI
+// disk I/O, Myrinet interprocessor communication) dominate pass times.
+// Locally we inject equivalent latencies so that FG's overlap machinery is
+// exercised the same way: a stage performing a "slow" operation sleeps,
+// yielding its thread exactly as a stage blocked in a driver would.
+//
+// Two modes are supported:
+//   * blocking charge  — the calling thread sleeps for the modeled cost
+//     (disk reads/writes: the stage cannot proceed without the data).
+//   * delivery charge  — the cost is converted to a future time point at
+//     which a message becomes visible to its receiver (communication:
+//     the sender proceeds while the message is "on the wire").
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace fg::util {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+/// Affine cost model: cost(bytes) = setup + bytes / bandwidth.
+/// A default-constructed model is free (zero cost), which is what logic
+/// tests use; benches configure nonzero models to reproduce the paper's
+/// latency-bound regime.
+class LatencyModel {
+ public:
+  constexpr LatencyModel() noexcept = default;
+
+  /// @param setup      fixed per-operation cost (seek time, message setup)
+  /// @param bytes_per_sec  transfer bandwidth; 0 means infinite bandwidth
+  constexpr LatencyModel(Duration setup, std::uint64_t bytes_per_sec) noexcept
+      : setup_(setup), bytes_per_sec_(bytes_per_sec) {}
+
+  /// Convenience: build from microseconds of setup and MiB/s of bandwidth.
+  static constexpr LatencyModel of(std::uint64_t setup_us,
+                                   std::uint64_t mib_per_sec) noexcept {
+    return LatencyModel(std::chrono::microseconds(setup_us),
+                        mib_per_sec * 1024 * 1024);
+  }
+
+  /// A model with no cost at all.
+  static constexpr LatencyModel free() noexcept { return LatencyModel(); }
+
+  constexpr bool is_free() const noexcept {
+    return setup_ == Duration::zero() && bytes_per_sec_ == 0;
+  }
+
+  /// Modeled duration of one operation moving `bytes` bytes.
+  constexpr Duration cost(std::size_t bytes) const noexcept {
+    Duration d = setup_;
+    if (bytes_per_sec_ != 0) {
+      // nanoseconds = bytes * 1e9 / bandwidth, computed in double to avoid
+      // overflow for large transfers.
+      const double ns = static_cast<double>(bytes) * 1e9 /
+                        static_cast<double>(bytes_per_sec_);
+      d += std::chrono::nanoseconds(static_cast<std::int64_t>(ns));
+    }
+    return d;
+  }
+
+  /// Blocking charge: sleep the calling thread for cost(bytes).
+  void charge(std::size_t bytes) const;
+
+  constexpr Duration setup() const noexcept { return setup_; }
+  constexpr std::uint64_t bandwidth() const noexcept { return bytes_per_sec_; }
+
+ private:
+  Duration setup_{Duration::zero()};
+  std::uint64_t bytes_per_sec_{0};  // 0 = infinite
+};
+
+/// Seconds as a double, for reporting.
+constexpr double to_seconds(Duration d) noexcept {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace fg::util

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fg::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default:               return "?????";
+  }
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool Log::enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[fg %s] %s\n", tag(level), msg.c_str());
+}
+
+}  // namespace fg::util

@@ -1,0 +1,50 @@
+// Minimal thread-safe logging.  FG programs run dozens of stage threads;
+// interleaved iostream writes would shred diagnostics, so all output
+// funnels through one mutex-guarded sink.  Logging defaults to warnings
+// only; benches and examples raise the level explicitly.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fg::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger.  Cheap to query: a disabled level costs one
+/// atomic load and no formatting.
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+  static bool enabled(LogLevel level) noexcept;
+
+  /// Write one line (newline appended) tagged with the level.
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Log::write(level_, out_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace fg::util
+
+/// Usage: FG_LOG(kInfo) << "pass 1 took " << secs << "s";
+#define FG_LOG(lvl)                                      \
+  if (!::fg::util::Log::enabled(::fg::util::LogLevel::lvl)) { \
+  } else                                                 \
+    ::fg::util::detail::LineBuilder(::fg::util::LogLevel::lvl)

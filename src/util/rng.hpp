@@ -1,0 +1,118 @@
+// Deterministic, fast pseudo-random number generation for workload
+// synthesis and splitter sampling.  We avoid <random>'s engines for the
+// hot paths because their state is large and their output is not
+// reproducible across standard-library implementations; every generator
+// here produces identical streams on every platform for a given seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace fg::util {
+
+/// SplitMix64: tiny, fast 64-bit generator.  Primarily used to seed
+/// Xoshiro256** and for cheap one-off hashing of keys.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix; usable as a hash for tie-breaking and sampling.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256**: the workhorse generator for record synthesis.
+/// Satisfies UniformRandomBitGenerator so it can also drive <random>
+/// distributions when convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method,
+  /// simplified: the bias for bound << 2^64 is negligible but we reject
+  /// anyway for exactness).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Standard normal variate via Box–Muller.  Not the fastest method, but
+/// branch-free enough for workload generation and exactly reproducible.
+inline double standard_normal(Xoshiro256& rng) noexcept {
+  // Guard against log(0): u1 in (0, 1].
+  const double u1 = 1.0 - rng.uniform01();
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+/// Poisson variate with mean `lambda` via Knuth's product-of-uniforms
+/// method; adequate for the small lambda (=1) the paper uses.
+inline unsigned poisson(Xoshiro256& rng, double lambda) noexcept {
+  const double limit = std::exp(-lambda);
+  unsigned k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform01();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace fg::util

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fg::util {
+
+void StatAccumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StatAccumulator::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), buckets_(bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(buckets_.size()));
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  ++buckets_[idx];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  std::ostringstream out;
+  const double step = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double a = lo_ + step * static_cast<double>(i);
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(buckets_[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    out << "[" << a << ", " << a + step << ") ";
+    for (std::size_t j = 0; j < bar; ++j) out << '#';
+    out << ' ' << buckets_[i] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fg::util

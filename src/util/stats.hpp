@@ -1,0 +1,60 @@
+// Streaming statistics and fixed-width histograms used for run metrics
+// (partition balance, queue occupancy, per-stage blocking time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fg::util {
+
+/// Welford's online mean/variance with min/max tracking.
+class StatAccumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  void reset() noexcept { *this = StatAccumulator(); }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const StatAccumulator& other) noexcept;
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus underflow
+/// and overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t bins() const noexcept { return buckets_.size(); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Render a compact ASCII sketch, one line per bucket.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_{0}, overflow_{0}, total_{0};
+};
+
+}  // namespace fg::util

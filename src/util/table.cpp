@@ -1,0 +1,111 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace fg::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'E' && c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::rule() { rows_.push_back({}); }
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : "";
+      const bool right = looks_numeric(cell);
+      if (right) {
+        out << std::string(width[i] - cell.size(), ' ') << cell;
+      } else {
+        out << cell << std::string(width[i] - cell.size(), ' ');
+      }
+      if (i + 1 < ncols) out << "  ";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      out << std::string(width[i], '-');
+      if (i + 1 < ncols) out << "  ";
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      emit_rule();
+    } else {
+      emit(r);
+    }
+  }
+  return out.str();
+}
+
+std::string fmt_seconds(double secs, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, secs);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace fg::util

@@ -1,0 +1,50 @@
+// Wall-clock stopwatches for per-pass and per-stage timing.
+#pragma once
+
+#include "util/latency.hpp"
+
+namespace fg::util {
+
+/// A stopwatch that starts on construction.  `elapsed()` may be read any
+/// number of times; `restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  Duration elapsed() const noexcept { return Clock::now() - start_; }
+  double elapsed_seconds() const noexcept { return to_seconds(elapsed()); }
+  void restart() noexcept { start_ = Clock::now(); }
+
+ private:
+  TimePoint start_;
+};
+
+/// Accumulating timer: sums the durations of possibly many start/stop
+/// intervals.  Used by the stage-statistics machinery to separate time
+/// spent working from time spent blocked on accept/convey.
+class IntervalTimer {
+ public:
+  void start() noexcept { start_ = Clock::now(); }
+  void stop() noexcept { total_ += Clock::now() - start_; }
+  Duration total() const noexcept { return total_; }
+  double total_seconds() const noexcept { return to_seconds(total_); }
+  void reset() noexcept { total_ = Duration::zero(); }
+
+ private:
+  TimePoint start_{};
+  Duration total_{Duration::zero()};
+};
+
+/// RAII guard adding the lifetime of the guard to an IntervalTimer.
+class ScopedInterval {
+ public:
+  explicit ScopedInterval(IntervalTimer& t) noexcept : t_(t) { t_.start(); }
+  ~ScopedInterval() { t_.stop(); }
+  ScopedInterval(const ScopedInterval&) = delete;
+  ScopedInterval& operator=(const ScopedInterval&) = delete;
+
+ private:
+  IntervalTimer& t_;
+};
+
+}  // namespace fg::util

@@ -1,0 +1,197 @@
+// Unit tests for fg::Buffer and fg::BufferQueue — the data plane of the
+// pipeline framework.
+#include "core/buffer.hpp"
+#include "core/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace fg {
+namespace {
+
+TEST(Buffer, CapacityAndSize) {
+  Buffer b(128, 3, false);
+  EXPECT_EQ(b.capacity(), 128u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.pipeline(), 3u);
+  b.set_size(64);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(b.contents().size(), 64u);
+  EXPECT_EQ(b.data().size(), 128u);
+}
+
+TEST(Buffer, SizeBeyondCapacityThrows) {
+  Buffer b(16, 0, false);
+  EXPECT_THROW(b.set_size(17), std::length_error);
+}
+
+TEST(Buffer, AuxAbsentThrows) {
+  Buffer b(16, 0, false);
+  EXPECT_FALSE(b.has_aux());
+  EXPECT_THROW(b.aux(), std::logic_error);
+  EXPECT_THROW(b.swap_aux(), std::logic_error);
+}
+
+TEST(Buffer, AuxSwapExchangesContents) {
+  Buffer b(8, 0, true);
+  EXPECT_TRUE(b.has_aux());
+  b.data()[0] = std::byte{1};
+  b.aux()[0] = std::byte{2};
+  b.swap_aux();
+  EXPECT_EQ(b.data()[0], std::byte{2});
+  EXPECT_EQ(b.aux()[0], std::byte{1});
+}
+
+TEST(Buffer, TypedViews) {
+  Buffer b(64, 0, false);
+  b.set_size(24);
+  auto u64s = b.as<std::uint64_t>();
+  EXPECT_EQ(u64s.size(), 3u);
+  u64s[0] = 42;
+  EXPECT_EQ(b.as<std::uint64_t>()[0], 42u);
+  EXPECT_EQ(b.capacity_as<std::uint64_t>().size(), 8u);
+}
+
+TEST(Buffer, TagRoundTrip) {
+  Buffer b(16, 0, false);
+  b.set_tag(0xdeadbeef);
+  EXPECT_EQ(b.tag(), 0xdeadbeefu);
+}
+
+TEST(Token, Factories) {
+  Buffer b(16, 7, false);
+  const Token t = Token::of_buffer(&b);
+  EXPECT_EQ(t.kind, TokenKind::kBuffer);
+  EXPECT_EQ(t.pipeline, 7u);
+  EXPECT_EQ(t.buffer, &b);
+  EXPECT_EQ(Token::caboose(2).kind, TokenKind::kCaboose);
+  EXPECT_EQ(Token::close(2).kind, TokenKind::kClose);
+  EXPECT_EQ(Token::abort().kind, TokenKind::kAbort);
+}
+
+TEST(BufferQueue, FifoOrder) {
+  BufferQueue q;
+  Buffer a(16, 0, false), b(16, 0, false);
+  q.push(Token::of_buffer(&a));
+  q.push(Token::of_buffer(&b));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().buffer, &a);
+  EXPECT_EQ(q.pop().buffer, &b);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BufferQueue, TryPopOnEmpty) {
+  BufferQueue q;
+  Token t;
+  EXPECT_FALSE(q.try_pop(t));
+  Buffer a(16, 0, false);
+  q.push(Token::of_buffer(&a));
+  EXPECT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t.buffer, &a);
+}
+
+TEST(BufferQueue, BlockingPopWakesOnPush) {
+  BufferQueue q;
+  Buffer a(16, 0, false);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(Token::of_buffer(&a));
+  });
+  const Token t = q.pop();  // must block until producer pushes
+  EXPECT_EQ(t.buffer, &a);
+  producer.join();
+}
+
+TEST(BufferQueue, BoundedPushBlocksUntilPop) {
+  BufferQueue q(1);
+  Buffer a(16, 0, false), b(16, 0, false);
+  q.push(Token::of_buffer(&a));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(Token::of_buffer(&b));  // blocks: capacity 1
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().buffer, &a);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().buffer, &b);
+}
+
+TEST(BufferQueue, AbortWakesPoppers) {
+  BufferQueue q;
+  std::thread waiter([&] {
+    const Token t = q.pop();
+    EXPECT_EQ(t.kind, TokenKind::kAbort);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.abort();
+  waiter.join();
+}
+
+TEST(BufferQueue, AbortMakesOperationsNoops) {
+  BufferQueue q;
+  q.abort();
+  Buffer a(16, 0, false);
+  q.push(Token::of_buffer(&a));  // dropped
+  EXPECT_EQ(q.pop().kind, TokenKind::kAbort);
+  Token t;
+  EXPECT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t.kind, TokenKind::kAbort);
+}
+
+TEST(BufferQueue, AbortWakesBlockedPushers) {
+  BufferQueue q(1);
+  Buffer a(16, 0, false), b(16, 0, false);
+  q.push(Token::of_buffer(&a));
+  std::thread producer([&] { q.push(Token::of_buffer(&b)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.abort();
+  producer.join();  // must return
+}
+
+TEST(BufferQueue, PeakTracksHighWaterMark) {
+  BufferQueue q;
+  Buffer a(16, 0, false);
+  q.push(Token::of_buffer(&a));
+  q.push(Token::of_buffer(&a));
+  q.pop();
+  q.push(Token::of_buffer(&a));
+  EXPECT_EQ(q.peak(), 2u);
+}
+
+TEST(BufferQueue, ManyProducersManyConsumers) {
+  BufferQueue q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  Buffer a(16, 0, false);
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(Token::of_buffer(&a));
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const Token t = q.pop();
+        if (t.kind == TokenKind::kCaboose) return;
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.push(Token::caboose(0));
+  q.push(Token::caboose(0));
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+  EXPECT_EQ(consumed.load(), kPerProducer * kProducers);
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,86 @@
+// Tests for the Cluster runner: node-program execution, error
+// propagation with fabric abort, and multi-phase reuse.
+#include "comm/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <mutex>
+
+namespace fg::comm {
+namespace {
+
+TEST(Cluster, RunsEveryRankExactlyOnce) {
+  Cluster c(6);
+  std::mutex m;
+  std::set<NodeId> ranks;
+  c.run([&](NodeId me) {
+    std::lock_guard<std::mutex> lock(m);
+    EXPECT_TRUE(ranks.insert(me).second);
+  });
+  EXPECT_EQ(ranks.size(), 6u);
+}
+
+TEST(Cluster, NodeProgramsCanCommunicate) {
+  Cluster c(3);
+  std::atomic<std::uint64_t> sum{0};
+  c.run([&](NodeId me) {
+    const auto all = c.fabric().allgather_u64(me, static_cast<std::uint64_t>(me + 1));
+    std::uint64_t s = 0;
+    for (auto v : all) s += v;
+    sum = s;  // every node computes the same value
+  });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(Cluster, ReusableAcrossPhases) {
+  Cluster c(4);
+  std::atomic<int> phase_one{0}, phase_two{0};
+  c.run([&](NodeId) { ++phase_one; });
+  c.run([&](NodeId me) {
+    c.fabric().barrier(me);
+    ++phase_two;
+  });
+  EXPECT_EQ(phase_one.load(), 4);
+  EXPECT_EQ(phase_two.load(), 4);
+}
+
+TEST(Cluster, ErrorOnOneNodeUnblocksOthers) {
+  Cluster c(3);
+  EXPECT_THROW(
+      c.run([&](NodeId me) {
+        if (me == 1) throw std::runtime_error("node 1 died");
+        // Other nodes block on a message that will never arrive; the
+        // abort must wake them.
+        std::vector<std::byte> buf(4);
+        c.fabric().recv(me, kAnySource, kAnyTag, buf);
+      }),
+      std::runtime_error);
+  EXPECT_TRUE(c.fabric().aborted());
+}
+
+TEST(Cluster, RunAfterAbortRejected) {
+  Cluster c(2);
+  EXPECT_THROW(c.run([&](NodeId) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  EXPECT_THROW(c.run([](NodeId) {}), std::logic_error);
+}
+
+TEST(Cluster, FirstErrorWins) {
+  Cluster c(2);
+  try {
+    c.run([&](NodeId me) {
+      if (me == 0) throw std::runtime_error("primary");
+      // Node 1 blocks until aborted, then unwinds silently.
+      std::vector<std::byte> buf(1);
+      c.fabric().recv(me, kAnySource, kAnyTag, buf);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "primary");
+  }
+}
+
+}  // namespace
+}  // namespace fg::comm

@@ -1,0 +1,306 @@
+// Tests for the PDM storage substrate: Disk positioned I/O, latency
+// accounting, Workspace lifecycle, and StripeLayout arithmetic.
+#include "pdm/disk.hpp"
+#include "pdm/striping.hpp"
+#include "pdm/workspace.hpp"
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+namespace fg::pdm {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+class DiskTest : public ::testing::Test {
+ protected:
+  Workspace ws_{1};
+  Disk& disk() { return ws_.disk(0); }
+};
+
+TEST_F(DiskTest, CreateWriteReadRoundTrip) {
+  File f = disk().create("a");
+  disk().write(f, 0, bytes_of("hello world"));
+  std::vector<std::byte> buf(11);
+  EXPECT_EQ(disk().read(f, 0, buf), 11u);
+  EXPECT_EQ(std::memcmp(buf.data(), "hello world", 11), 0);
+}
+
+TEST_F(DiskTest, PositionedAccess) {
+  File f = disk().create("a");
+  disk().write(f, 100, bytes_of("xyz"));
+  std::vector<std::byte> buf(2);
+  EXPECT_EQ(disk().read(f, 101, buf), 2u);
+  EXPECT_EQ(std::memcmp(buf.data(), "yz", 2), 0);
+  EXPECT_EQ(disk().size(f), 103u);
+}
+
+TEST_F(DiskTest, ShortReadAtEof) {
+  File f = disk().create("a");
+  disk().write(f, 0, bytes_of("abc"));
+  std::vector<std::byte> buf(10);
+  EXPECT_EQ(disk().read(f, 0, buf), 3u);
+  EXPECT_EQ(disk().read(f, 3, buf), 0u);
+}
+
+TEST_F(DiskTest, PersistsAcrossReopen) {
+  {
+    File f = disk().create("persist");
+    disk().write(f, 0, bytes_of("data"));
+  }
+  EXPECT_TRUE(disk().exists("persist"));
+  File f = disk().open("persist");
+  std::vector<std::byte> buf(4);
+  EXPECT_EQ(disk().read(f, 0, buf), 4u);
+  EXPECT_EQ(std::memcmp(buf.data(), "data", 4), 0);
+}
+
+TEST_F(DiskTest, OpenMissingThrows) {
+  EXPECT_THROW(disk().open("nope"), std::runtime_error);
+  EXPECT_FALSE(disk().exists("nope"));
+}
+
+TEST_F(DiskTest, RemoveDeletesFile) {
+  { File f = disk().create("gone"); }
+  EXPECT_TRUE(disk().exists("gone"));
+  disk().remove("gone");
+  EXPECT_FALSE(disk().exists("gone"));
+}
+
+TEST_F(DiskTest, CreateTruncatesExisting) {
+  {
+    File f = disk().create("t");
+    disk().write(f, 0, bytes_of("long content"));
+  }
+  File f = disk().create("t");
+  EXPECT_EQ(disk().size(f), 0u);
+}
+
+TEST_F(DiskTest, ClosedFileRejected) {
+  File f;
+  EXPECT_FALSE(f.is_open());
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(disk().read(f, 0, buf), std::logic_error);
+  EXPECT_THROW(disk().write(f, 0, buf), std::logic_error);
+  EXPECT_THROW(disk().size(f), std::logic_error);
+}
+
+TEST_F(DiskTest, MoveTransfersOwnership) {
+  File a = disk().create("m");
+  File b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.is_open());
+  disk().write(b, 0, bytes_of("ok"));
+}
+
+TEST_F(DiskTest, StatsCountOperations) {
+  File f = disk().create("s");
+  disk().write(f, 0, bytes_of("12345678"));
+  std::vector<std::byte> buf(8);
+  disk().read(f, 0, buf);
+  disk().read(f, 4, buf);
+  const IoStats st = disk().stats();
+  EXPECT_EQ(st.write_ops, 1u);
+  EXPECT_EQ(st.bytes_written, 8u);
+  EXPECT_EQ(st.read_ops, 2u);
+  EXPECT_EQ(st.bytes_read, 12u);
+  disk().reset_stats();
+  EXPECT_EQ(disk().stats().read_ops, 0u);
+}
+
+TEST_F(DiskTest, ConcurrentAccessIsSerialized) {
+  File f = disk().create("c");
+  disk().write(f, 0, std::vector<std::byte>(4096));
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> buf(64);
+      for (int i = 0; i < 50; ++i) {
+        const std::uint64_t off = static_cast<std::uint64_t>((t * 50 + i) % 60) * 64;
+        try {
+          disk().write(f, off, buf);
+          disk().read(f, off, buf);
+        } catch (...) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(DiskLatency, BusyTimeAccumulates) {
+  Workspace ws(1, util::LatencyModel::of(5000, 0));  // 5 ms per op
+  Disk& d = ws.disk(0);
+  File f = d.create("lat");
+  util::Stopwatch sw;
+  d.write(f, 0, bytes_of("x"));
+  d.write(f, 1, bytes_of("y"));
+  EXPECT_GE(sw.elapsed_seconds(), 0.009);
+  EXPECT_GE(util::to_seconds(d.stats().busy), 0.009);
+}
+
+TEST(DiskLatency, ModelSwappable) {
+  Workspace ws(1, util::LatencyModel::of(50000, 0));
+  ws.set_disk_model(util::LatencyModel::free());
+  Disk& d = ws.disk(0);
+  File f = d.create("fast");
+  util::Stopwatch sw;
+  d.write(f, 0, bytes_of("x"));
+  EXPECT_LT(sw.elapsed_seconds(), 0.02);
+}
+
+TEST(DiskLatency, SeekAwareSequentialSkipsSetup) {
+  Workspace ws(1, util::LatencyModel::of(10000, 0));  // pure 10 ms "seek"
+  Disk& d = ws.disk(0);
+  d.set_seek_aware(true);
+  File f = d.create("seq");
+  util::Stopwatch sw;
+  // First write seeks; the next three continue where it left off.
+  for (int i = 0; i < 4; ++i) {
+    d.write(f, static_cast<std::uint64_t>(i) * 8, bytes_of("12345678"));
+  }
+  const double seq = sw.elapsed_seconds();
+  EXPECT_LT(seq, 0.025);  // ~1 seek, not 4
+
+  // Now jump around: every op seeks.
+  sw.restart();
+  for (int i = 0; i < 4; ++i) {
+    d.write(f, static_cast<std::uint64_t>((i * 7) % 5) * 64, bytes_of("x"));
+  }
+  EXPECT_GE(sw.elapsed_seconds(), 0.035);
+}
+
+TEST(DiskLatency, SeekAwareDetectsFileSwitch) {
+  Workspace ws(1, util::LatencyModel::of(10000, 0));
+  Disk& d = ws.disk(0);
+  d.set_seek_aware(true);
+  File a = d.create("a");
+  File b = d.create("b");
+  util::Stopwatch sw;
+  d.write(a, 0, bytes_of("x"));  // seek
+  d.write(b, 1, bytes_of("y"));  // different file: seek
+  d.write(a, 1, bytes_of("z"));  // back: seek
+  EXPECT_GE(sw.elapsed_seconds(), 0.027);
+}
+
+TEST(DiskLatency, SeekAwareOffByDefault) {
+  Workspace ws(1, util::LatencyModel::of(10000, 0));
+  Disk& d = ws.disk(0);
+  EXPECT_FALSE(d.seek_aware());
+  File f = d.create("f");
+  util::Stopwatch sw;
+  d.write(f, 0, bytes_of("ab"));
+  d.write(f, 2, bytes_of("cd"));  // contiguous, but default charges setup
+  EXPECT_GE(sw.elapsed_seconds(), 0.018);
+}
+
+TEST(WorkspaceTest, CreatesPerNodeDirs) {
+  Workspace ws(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::filesystem::is_directory(ws.disk(i).dir()));
+  }
+  EXPECT_EQ(ws.nodes(), 3);
+}
+
+TEST(WorkspaceTest, CleansUpOnDestruction) {
+  std::filesystem::path root;
+  {
+    Workspace ws(2);
+    root = ws.root();
+    File f = ws.disk(0).create("file");
+    EXPECT_TRUE(std::filesystem::exists(root));
+  }
+  EXPECT_FALSE(std::filesystem::exists(root));
+}
+
+TEST(WorkspaceTest, KeepPreservesTree) {
+  std::filesystem::path root;
+  {
+    Workspace ws(1);
+    root = ws.root();
+    ws.keep();
+  }
+  EXPECT_TRUE(std::filesystem::exists(root));
+  std::filesystem::remove_all(root);
+}
+
+TEST(WorkspaceTest, UniqueRoots) {
+  Workspace a(1), b(1);
+  EXPECT_NE(a.root(), b.root());
+}
+
+// -- StripeLayout -------------------------------------------------------------
+
+TEST(StripeLayoutTest, BlockArithmetic) {
+  StripeLayout l(4, 16, 8);  // P=4, 16-byte records, 8 records/block
+  EXPECT_EQ(l.block_bytes(), 128u);
+  EXPECT_EQ(l.block_of(0), 0u);
+  EXPECT_EQ(l.block_of(7), 0u);
+  EXPECT_EQ(l.block_of(8), 1u);
+  EXPECT_EQ(l.node_of(0), 0);
+  EXPECT_EQ(l.node_of(8), 1);
+  EXPECT_EQ(l.node_of(31), 3);
+  EXPECT_EQ(l.node_of(32), 0);  // block 4 wraps to node 0
+}
+
+TEST(StripeLayoutTest, LocalOffsets) {
+  StripeLayout l(4, 16, 8);
+  // Record 32 is in block 4, node 0's second local block.
+  EXPECT_EQ(l.local_byte_offset(32), 8u * 16u);
+  // Record 35: 3 records into that block.
+  EXPECT_EQ(l.local_byte_offset(35), 8u * 16u + 3u * 16u);
+  // Record 0: start of node 0's file.
+  EXPECT_EQ(l.local_byte_offset(0), 0u);
+}
+
+TEST(StripeLayoutTest, RunWithinBlock) {
+  StripeLayout l(2, 16, 10);
+  EXPECT_EQ(l.run_within_block(0), 10u);
+  EXPECT_EQ(l.run_within_block(7), 3u);
+  EXPECT_EQ(l.run_within_block(10), 10u);
+}
+
+TEST(StripeLayoutTest, NodeRecordsSumToTotal) {
+  for (int p : {1, 2, 3, 5, 8}) {
+    StripeLayout l(p, 16, 7);
+    for (std::uint64_t total : {0ull, 1ull, 6ull, 7ull, 50ull, 699ull, 700ull}) {
+      std::uint64_t sum = 0;
+      for (int n = 0; n < p; ++n) sum += l.node_records(n, total);
+      EXPECT_EQ(sum, total) << "P=" << p << " total=" << total;
+    }
+  }
+}
+
+TEST(StripeLayoutTest, NodeRecordsMatchNodeOf) {
+  StripeLayout l(3, 16, 4);
+  const std::uint64_t total = 101;
+  std::vector<std::uint64_t> count(3, 0);
+  for (std::uint64_t g = 0; g < total; ++g) {
+    ++count[static_cast<std::size_t>(l.node_of(g))];
+  }
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(l.node_records(n, total), count[static_cast<std::size_t>(n)]);
+  }
+}
+
+TEST(StripeLayoutTest, InvalidParamsRejected) {
+  EXPECT_THROW(StripeLayout(0, 16, 4), std::invalid_argument);
+  EXPECT_THROW(StripeLayout(2, 0, 4), std::invalid_argument);
+  EXPECT_THROW(StripeLayout(2, 16, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fg::pdm

@@ -1,0 +1,398 @@
+// Tests for the communication fabric: point-to-point semantics (tags,
+// wildcards, FIFO per channel, truncation errors), the latency model's
+// delivery-time behaviour, collectives, abort, and traffic accounting.
+#include "comm/fabric.hpp"
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace fg::comm {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(std::span<const std::byte> b, std::size_t n) {
+  return std::string(reinterpret_cast<const char*>(b.data()), n);
+}
+
+TEST(Fabric, SendRecvRoundTrip) {
+  Fabric f(2);
+  const auto msg = bytes_of("hello");
+  f.send(0, 1, 7, msg);
+  std::vector<std::byte> buf(16);
+  const RecvResult r = f.recv(1, 0, 7, buf);
+  EXPECT_EQ(r.source, 0);
+  EXPECT_EQ(r.tag, 7);
+  EXPECT_EQ(r.bytes, 5u);
+  EXPECT_EQ(string_of(buf, r.bytes), "hello");
+}
+
+TEST(Fabric, SelfSendWorks) {
+  Fabric f(1);
+  f.send(0, 0, 1, bytes_of("self"));
+  std::vector<std::byte> buf(8);
+  const RecvResult r = f.recv(0, 0, 1, buf);
+  EXPECT_EQ(string_of(buf, r.bytes), "self");
+}
+
+TEST(Fabric, TagsSelectMessages) {
+  Fabric f(2);
+  f.send(0, 1, 1, bytes_of("one"));
+  f.send(0, 1, 2, bytes_of("two"));
+  std::vector<std::byte> buf(8);
+  const RecvResult r2 = f.recv(1, 0, 2, buf);
+  EXPECT_EQ(string_of(buf, r2.bytes), "two");
+  const RecvResult r1 = f.recv(1, 0, 1, buf);
+  EXPECT_EQ(string_of(buf, r1.bytes), "one");
+}
+
+TEST(Fabric, AnySourceAndAnyTag) {
+  Fabric f(3);
+  f.send(2, 0, 5, bytes_of("x"));
+  std::vector<std::byte> buf(4);
+  const RecvResult r = f.recv(0, kAnySource, kAnyTag, buf);
+  EXPECT_EQ(r.source, 2);
+  EXPECT_EQ(r.tag, 5);
+}
+
+TEST(Fabric, FifoPerChannel) {
+  Fabric f(2);
+  for (int i = 0; i < 10; ++i) {
+    std::byte b{static_cast<unsigned char>(i)};
+    f.send(0, 1, 3, {&b, 1});
+  }
+  std::byte b;
+  for (int i = 0; i < 10; ++i) {
+    f.recv(1, 0, 3, {&b, 1});
+    EXPECT_EQ(static_cast<int>(b), i);
+  }
+}
+
+TEST(Fabric, FifoSurvivesSizeVariation) {
+  // A large (slow) message followed by a tiny one must still deliver in
+  // order on the same channel (MPI non-overtaking).
+  Fabric f(2, util::LatencyModel::of(0, 10));  // 10 MiB/s
+  std::vector<std::byte> big(512 * 1024, std::byte{1});
+  f.send(0, 1, 1, big);
+  f.send(0, 1, 1, bytes_of("\x02"));
+  std::vector<std::byte> buf(512 * 1024);
+  RecvResult r = f.recv(1, 0, 1, buf);
+  EXPECT_EQ(r.bytes, big.size());
+  r = f.recv(1, 0, 1, buf);
+  EXPECT_EQ(r.bytes, 1u);
+  EXPECT_EQ(buf[0], std::byte{2});
+}
+
+TEST(Fabric, TruncationThrows) {
+  Fabric f(2);
+  f.send(0, 1, 1, bytes_of("too long"));
+  std::vector<std::byte> buf(2);
+  EXPECT_THROW(f.recv(1, 0, 1, buf), std::length_error);
+}
+
+TEST(Fabric, NegativeUserTagRejected) {
+  Fabric f(2);
+  EXPECT_THROW(f.send(0, 1, -5, {}), std::invalid_argument);
+  std::vector<std::byte> buf(4);
+  EXPECT_THROW(f.recv(1, 0, -5, buf), std::invalid_argument);
+}
+
+TEST(Fabric, RankRangeChecked) {
+  Fabric f(2);
+  EXPECT_THROW(f.send(0, 5, 1, {}), std::out_of_range);
+  std::vector<std::byte> buf(4);
+  EXPECT_THROW(f.recv(9, 0, 1, buf), std::out_of_range);
+  EXPECT_THROW(Fabric(0), std::invalid_argument);
+}
+
+TEST(Fabric, LatencyDelaysDelivery) {
+  Fabric f(2, util::LatencyModel::of(50000, 0));  // 50 ms per message
+  util::Stopwatch sw;
+  f.send(0, 1, 1, bytes_of("x"));
+  // Sender returns immediately (buffered send).
+  EXPECT_LT(sw.elapsed_seconds(), 0.04);
+  std::vector<std::byte> buf(4);
+  f.recv(1, 0, 1, buf);
+  EXPECT_GE(sw.elapsed_seconds(), 0.045);
+}
+
+TEST(Fabric, SelfSendIsFree) {
+  Fabric f(2, util::LatencyModel::of(100000, 0));  // 100 ms per message
+  util::Stopwatch sw;
+  f.send(0, 0, 1, bytes_of("x"));
+  std::vector<std::byte> buf(4);
+  f.recv(0, 0, 1, buf);
+  EXPECT_LT(sw.elapsed_seconds(), 0.05);
+}
+
+TEST(Fabric, ProbeSeesOnlyDeliveredMessages) {
+  Fabric f(2, util::LatencyModel::of(60000, 0));
+  EXPECT_FALSE(f.probe(1, 0, 1));
+  f.send(0, 1, 1, bytes_of("x"));
+  EXPECT_FALSE(f.probe(1, 0, 1));  // still in flight
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(f.probe(1, 0, 1));
+}
+
+TEST(Fabric, BlockingRecvWaitsForSend) {
+  Fabric f(2);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    f.send(0, 1, 1, bytes_of("late"));
+  });
+  std::vector<std::byte> buf(8);
+  const RecvResult r = f.recv(1, 0, 1, buf);
+  EXPECT_EQ(string_of(buf, r.bytes), "late");
+  sender.join();
+}
+
+TEST(Fabric, TrafficStatsCountPayloads) {
+  Fabric f(2);
+  f.send(0, 1, 1, bytes_of("12345"));
+  std::vector<std::byte> buf(8);
+  f.recv(1, 0, 1, buf);
+  const TrafficStats s0 = f.stats(0);
+  const TrafficStats s1 = f.stats(1);
+  EXPECT_EQ(s0.messages_sent, 1u);
+  EXPECT_EQ(s0.bytes_sent, 5u);
+  EXPECT_EQ(s1.messages_received, 1u);
+  EXPECT_EQ(s1.bytes_received, 5u);
+}
+
+TEST(Fabric, AbortWakesBlockedReceivers) {
+  Fabric f(2);
+  std::thread waiter([&] {
+    std::vector<std::byte> buf(4);
+    EXPECT_THROW(f.recv(1, 0, 1, buf), FabricAborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  f.abort();
+  waiter.join();
+  EXPECT_TRUE(f.aborted());
+  EXPECT_THROW(f.send(0, 1, 1, {}), FabricAborted);
+}
+
+// -- collectives ------------------------------------------------------------
+
+/// Run `fn(rank)` on `p` threads.
+void on_all(int p, const std::function<void(NodeId)>& fn) {
+  std::vector<std::thread> t;
+  for (NodeId n = 0; n < p; ++n) t.emplace_back([&, n] { fn(n); });
+  for (auto& th : t) th.join();
+}
+
+TEST(Collectives, BarrierSynchronizes) {
+  const int p = 5;
+  Fabric f(p);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violation{false};
+  on_all(p, [&](NodeId me) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 * me));
+    ++arrived;
+    f.barrier(me);
+    if (arrived.load() != p) violation = true;
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Collectives, RepeatedBarriersDoNotCrossTalk) {
+  const int p = 4;
+  Fabric f(p);
+  std::atomic<int> phase{0};
+  std::atomic<bool> violation{false};
+  on_all(p, [&](NodeId me) {
+    for (int round = 0; round < 20; ++round) {
+      f.barrier(me);
+      if (me == 0) ++phase;
+      f.barrier(me);
+      if (phase.load() != round + 1) violation = true;
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Collectives, BroadcastDistributesRootData) {
+  const int p = 6;
+  Fabric f(p);
+  std::vector<std::vector<std::byte>> got(p, std::vector<std::byte>(4));
+  on_all(p, [&](NodeId me) {
+    if (me == 2) {
+      const auto msg = bytes_of("abcd");
+      std::copy(msg.begin(), msg.end(), got[static_cast<std::size_t>(me)].begin());
+    }
+    f.broadcast(me, 2, got[static_cast<std::size_t>(me)]);
+  });
+  for (int n = 0; n < p; ++n) {
+    EXPECT_EQ(string_of(got[static_cast<std::size_t>(n)], 4), "abcd");
+  }
+}
+
+TEST(Collectives, AlltoallExchangesBlocks) {
+  const int p = 4;
+  Fabric f(p);
+  std::vector<std::vector<std::uint64_t>> recv(
+      p, std::vector<std::uint64_t>(static_cast<std::size_t>(p)));
+  on_all(p, [&](NodeId me) {
+    std::vector<std::uint64_t> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      send[static_cast<std::size_t>(d)] =
+          static_cast<std::uint64_t>(me * 100 + d);
+    }
+    f.alltoall(me,
+               {reinterpret_cast<const std::byte*>(send.data()),
+                send.size() * 8},
+               {reinterpret_cast<std::byte*>(
+                    recv[static_cast<std::size_t>(me)].data()),
+                static_cast<std::size_t>(p) * 8},
+               8);
+  });
+  for (int me = 0; me < p; ++me) {
+    for (int s = 0; s < p; ++s) {
+      // Block from s holds s*100 + me.
+      EXPECT_EQ(recv[static_cast<std::size_t>(me)][static_cast<std::size_t>(s)],
+                static_cast<std::uint64_t>(s * 100 + me));
+    }
+  }
+}
+
+TEST(Collectives, AlltoallValidatesSizes) {
+  Fabric f(2);
+  std::vector<std::byte> tiny(4);
+  EXPECT_THROW(f.alltoall(0, tiny, tiny, 8), std::length_error);
+}
+
+TEST(Collectives, AlltoallvVariableSizes) {
+  const int p = 3;
+  Fabric f(p);
+  // Node m sends m+1 copies of its rank byte to every node.
+  std::vector<std::vector<std::byte>> got(p);
+  std::vector<std::vector<std::size_t>> sizes(p);
+  on_all(p, [&](NodeId me) {
+    std::vector<std::byte> mine(static_cast<std::size_t>(me + 1),
+                                std::byte{static_cast<unsigned char>(me)});
+    std::vector<std::span<const std::byte>> send(
+        static_cast<std::size_t>(p), std::span<const std::byte>(mine));
+    std::vector<std::byte> recv(64);
+    const auto s = f.alltoallv(me, send, recv);
+    got[static_cast<std::size_t>(me)] = recv;
+    sizes[static_cast<std::size_t>(me)] = s;
+  });
+  for (int me = 0; me < p; ++me) {
+    std::size_t off = 0;
+    for (int src = 0; src < p; ++src) {
+      ASSERT_EQ(sizes[static_cast<std::size_t>(me)][static_cast<std::size_t>(src)],
+                static_cast<std::size_t>(src + 1));
+      for (int i = 0; i <= src; ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(me)][off + static_cast<std::size_t>(i)],
+                  std::byte{static_cast<unsigned char>(src)});
+      }
+      off += static_cast<std::size_t>(src + 1);
+    }
+  }
+}
+
+TEST(Collectives, AlltoallvEmptyBlocksLegal) {
+  const int p = 2;
+  Fabric f(p);
+  on_all(p, [&](NodeId me) {
+    std::vector<std::byte> mine;
+    if (me == 0) mine = bytes_of("x");
+    std::vector<std::span<const std::byte>> send(
+        static_cast<std::size_t>(p), std::span<const std::byte>(mine));
+    std::vector<std::byte> recv(8);
+    const auto s = f.alltoallv(me, send, recv);
+    EXPECT_EQ(s[0], me == 0 ? 1u : 1u);  // node 0 sent 1 byte to everyone
+    EXPECT_EQ(s[1], 0u);                 // node 1 sent nothing
+  });
+}
+
+TEST(Collectives, AlltoallvOverflowThrows) {
+  Fabric f(1);
+  std::vector<std::byte> mine(16);
+  std::vector<std::span<const std::byte>> send{std::span<const std::byte>(mine)};
+  std::vector<std::byte> recv(4);
+  EXPECT_THROW(f.alltoallv(0, send, recv), std::length_error);
+}
+
+TEST(Collectives, AlltoallvWrongBlockCountThrows) {
+  Fabric f(2);
+  std::vector<std::span<const std::byte>> send(1);
+  std::vector<std::byte> recv(4);
+  EXPECT_THROW(f.alltoallv(0, send, recv), std::invalid_argument);
+}
+
+TEST(Collectives, SendrecvReplaceExchangesRing) {
+  const int p = 4;
+  Fabric f(p);
+  std::vector<std::uint64_t> vals(p);
+  on_all(p, [&](NodeId me) {
+    std::uint64_t v = static_cast<std::uint64_t>(me);
+    // Shift values one step around the ring.
+    f.sendrecv_replace(me, (me + 1) % p, (me + p - 1) % p, 9,
+                       {reinterpret_cast<std::byte*>(&v), 8});
+    vals[static_cast<std::size_t>(me)] = v;
+  });
+  for (int me = 0; me < p; ++me) {
+    EXPECT_EQ(vals[static_cast<std::size_t>(me)],
+              static_cast<std::uint64_t>((me + p - 1) % p));
+  }
+}
+
+TEST(Collectives, AllgatherU64) {
+  const int p = 5;
+  Fabric f(p);
+  std::vector<std::vector<std::uint64_t>> got(p);
+  on_all(p, [&](NodeId me) {
+    got[static_cast<std::size_t>(me)] =
+        f.allgather_u64(me, static_cast<std::uint64_t>(me * me));
+  });
+  for (int me = 0; me < p; ++me) {
+    ASSERT_EQ(got[static_cast<std::size_t>(me)].size(),
+              static_cast<std::size_t>(p));
+    for (int n = 0; n < p; ++n) {
+      EXPECT_EQ(got[static_cast<std::size_t>(me)][static_cast<std::size_t>(n)],
+                static_cast<std::uint64_t>(n * n));
+    }
+  }
+}
+
+TEST(Collectives, AllreduceSum) {
+  const int p = 3;
+  Fabric f(p);
+  std::vector<std::vector<std::uint64_t>> got(p);
+  on_all(p, [&](NodeId me) {
+    const std::uint64_t mine[2] = {static_cast<std::uint64_t>(me + 1), 10};
+    got[static_cast<std::size_t>(me)] = f.allreduce_sum_u64(me, mine);
+  });
+  for (int me = 0; me < p; ++me) {
+    EXPECT_EQ(got[static_cast<std::size_t>(me)][0], 1u + 2u + 3u);
+    EXPECT_EQ(got[static_cast<std::size_t>(me)][1], 30u);
+  }
+}
+
+TEST(Collectives, SingleNodeDegenerates) {
+  Fabric f(1);
+  f.barrier(0);
+  std::vector<std::byte> d = bytes_of("z");
+  f.broadcast(0, 0, d);
+  const auto all = f.allgather_u64(0, 42);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], 42u);
+  std::uint64_t v = 7;
+  f.sendrecv_replace(0, 0, 0, 1, {reinterpret_cast<std::byte*>(&v), 8});
+  EXPECT_EQ(v, 7u);
+}
+
+}  // namespace
+}  // namespace fg::comm

@@ -1,0 +1,201 @@
+// Cross-module integration tests: the full sorting programs on a
+// simulated cluster with *nonzero* latency models, overlap evidence from
+// stage statistics, and the experiment driver used by the benches.
+#include "core/fg.hpp"
+#include "sort/experiment.hpp"
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace fg::sort {
+namespace {
+
+SortConfig latency_config() {
+  SortConfig cfg;
+  cfg.nodes = 2;
+  cfg.records = 4096;
+  cfg.record_bytes = 16;
+  cfg.block_records = 64;
+  cfg.buffer_records = 256;
+  cfg.num_buffers = 3;
+  cfg.merge_buffer_records = 64;
+  cfg.out_buffer_records = 256;
+  cfg.oversample = 16;
+  return cfg;
+}
+
+LatencyProfile mild_latency() {
+  // Small but nonzero: microseconds of setup, high bandwidth, so tests
+  // stay fast while still exercising the latency code paths.
+  return {util::LatencyModel::of(100, 500), util::LatencyModel::of(20, 1000)};
+}
+
+TEST(Integration, DsortCorrectUnderLatency) {
+  SortConfig cfg = latency_config();
+  cfg.records = csort_compatible_records(4096, cfg.nodes, cfg.block_records);
+  const ProgramOutcome out = run_program(true, cfg, mild_latency());
+  EXPECT_TRUE(out.verify.ok());
+  EXPECT_GT(out.result.times.total(), 0.0);
+}
+
+TEST(Integration, CsortCorrectUnderLatency) {
+  SortConfig cfg = latency_config();
+  cfg.records = csort_compatible_records(4096, cfg.nodes, cfg.block_records);
+  const ProgramOutcome out = run_program(false, cfg, mild_latency());
+  EXPECT_TRUE(out.verify.ok());
+  EXPECT_EQ(out.result.times.passes.size(), 3u);
+}
+
+TEST(Integration, ComparisonRowRunsBothPrograms) {
+  SortConfig cfg = latency_config();
+  cfg.records = csort_compatible_records(4096, cfg.nodes, cfg.block_records);
+  const ComparisonRow row =
+      run_comparison(cfg, Distribution::kUniform, LatencyProfile::none());
+  ASSERT_TRUE(row.dsort.has_value());
+  ASSERT_TRUE(row.csort.has_value());
+  EXPECT_GT(row.ratio(), 0.0);
+}
+
+TEST(Integration, RenderFigure8MentionsEveryPhase) {
+  SortConfig cfg = latency_config();
+  cfg.records = csort_compatible_records(4096, cfg.nodes, cfg.block_records);
+  const ComparisonRow row =
+      run_comparison(cfg, Distribution::kAllEqual, LatencyProfile::none());
+  const std::string table = render_figure8({row}, "test table");
+  EXPECT_NE(table.find("sampling"), std::string::npos);
+  EXPECT_NE(table.find("pass 3"), std::string::npos);
+  EXPECT_NE(table.find("dsort/csort"), std::string::npos);
+  EXPECT_NE(table.find("All equal"), std::string::npos);
+}
+
+TEST(Integration, PipelineOverlapHidesLatency) {
+  // A 3-stage pipeline where every stage sleeps `d` per buffer.  With B
+  // buffers in flight the wall time approaches rounds*d instead of
+  // 3*rounds*d — the whole point of FG.  We assert a conservative bound.
+  const auto d = std::chrono::milliseconds(10);
+  const std::uint64_t rounds = 20;
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.name = "overlap";
+  pc.num_buffers = 4;
+  pc.buffer_bytes = 64;
+  pc.rounds = rounds;
+  auto& p = g.add_pipeline(pc);
+  auto sleepy = [d](Buffer&) {
+    std::this_thread::sleep_for(d);
+    return StageAction::kConvey;
+  };
+  MapStage s1("io1", sleepy), s2("io2", sleepy), s3("io3", sleepy);
+  p.add_stage(s1);
+  p.add_stage(s2);
+  p.add_stage(s3);
+  util::Stopwatch sw;
+  g.run();
+  const double serial = 3.0 * static_cast<double>(rounds) * 0.010;
+  EXPECT_LT(sw.elapsed_seconds(), 0.6 * serial);
+}
+
+TEST(Integration, DisjointPipelinesOverlapEachOther) {
+  // Two disjoint pipelines, each spending `rounds * d` of blocking time:
+  // running them in one graph must take far less than the sum.
+  const auto d = std::chrono::milliseconds(8);
+  const std::uint64_t rounds = 15;
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.num_buffers = 2;
+  pc.buffer_bytes = 64;
+  pc.rounds = rounds;
+  pc.name = "a";
+  auto& pa = g.add_pipeline(pc);
+  pc.name = "b";
+  auto& pb = g.add_pipeline(pc);
+  auto sleepy = [d](Buffer&) {
+    std::this_thread::sleep_for(d);
+    return StageAction::kConvey;
+  };
+  MapStage sa("sa", sleepy), sb("sb", sleepy);
+  pa.add_stage(sa);
+  pb.add_stage(sb);
+  util::Stopwatch sw;
+  g.run();
+  const double serial = 2.0 * static_cast<double>(rounds) * 0.008;
+  EXPECT_LT(sw.elapsed_seconds(), 0.75 * serial);
+}
+
+TEST(Integration, StageStatsShowBlockingOnSlowStage) {
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.name = "p";
+  pc.num_buffers = 2;
+  pc.buffer_bytes = 64;
+  pc.rounds = 10;
+  auto& p = g.add_pipeline(pc);
+  MapStage fast("fast", [](Buffer&) { return StageAction::kConvey; });
+  MapStage slow("slow", [](Buffer&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return StageAction::kConvey;
+  });
+  p.add_stage(fast);
+  p.add_stage(slow);
+  g.run();
+  double slow_work = 0, fast_accept = 0;
+  for (const auto& s : g.stats()) {
+    if (s.stage == "slow") slow_work = s.working_seconds();
+    if (s.stage == "fast") fast_accept = s.accept_seconds();
+  }
+  EXPECT_GE(slow_work, 0.04);
+  // The fast stage spends its life waiting on the source's recycled
+  // buffers, which are gated by the slow stage downstream.
+  EXPECT_GE(fast_accept, 0.02);
+}
+
+TEST(Integration, DiskBusyAndTrafficAccountedDuringSort) {
+  SortConfig cfg = latency_config();
+  pdm::Workspace ws(cfg.nodes, util::LatencyModel::of(50, 500));
+  comm::Cluster cluster(cfg.nodes, util::LatencyModel::of(10, 2000));
+  generate_input(ws, cfg);
+  run_dsort(cluster, ws, cfg);
+  // Every node must have moved bytes over the fabric and busied its disk.
+  for (int n = 0; n < cfg.nodes; ++n) {
+    const comm::TrafficStats t = cluster.fabric().stats(n);
+    EXPECT_GT(t.bytes_sent, 0u);
+    EXPECT_GT(t.bytes_received, 0u);
+    EXPECT_GT(util::to_seconds(ws.disk(n).stats().busy), 0.0);
+  }
+  EXPECT_TRUE(verify_output(ws, cfg).ok());
+}
+
+TEST(Integration, SortsCorrectUnderSeekAwareDisks) {
+  // Seek-aware charging changes timing, never results.
+  SortConfig cfg = latency_config();
+  cfg.records = csort_compatible_records(3000, cfg.nodes, cfg.block_records);
+  cfg.compute_model = mild_latency().compute;
+  for (const bool use_dsort : {true, false}) {
+    pdm::Workspace ws(cfg.nodes, mild_latency().disk);
+    ws.set_seek_aware(true);
+    comm::Cluster cluster(cfg.nodes, mild_latency().net);
+    generate_input(ws, cfg);
+    if (use_dsort) {
+      run_dsort(cluster, ws, cfg);
+    } else {
+      run_csort(cluster, ws, cfg);
+    }
+    EXPECT_TRUE(verify_output(ws, cfg).ok()) << (use_dsort ? "dsort" : "csort");
+  }
+}
+
+TEST(Integration, BothRecordSizesUnderLatency) {
+  for (std::uint32_t rec : {16u, 64u}) {
+    SortConfig cfg = latency_config();
+    cfg.record_bytes = rec;
+    cfg.records = csort_compatible_records(3000, cfg.nodes, cfg.block_records);
+    EXPECT_TRUE(run_program(true, cfg, mild_latency()).verify.ok());
+    EXPECT_TRUE(run_program(false, cfg, mild_latency()).verify.ok());
+  }
+}
+
+}  // namespace
+}  // namespace fg::sort

@@ -1,0 +1,159 @@
+// Tests for the out-of-core permutation app: structured permutations
+// (identity, shifts, reversal, transpose), fully random bijections,
+// parameter sweeps, and the map helpers themselves.
+#include "apps/ooc_permute.hpp"
+#include "sort/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace fg::apps {
+namespace {
+
+sort::SortConfig gen_config(const PermuteConfig& cfg) {
+  sort::SortConfig g;
+  g.nodes = cfg.nodes;
+  g.records = cfg.records;
+  g.record_bytes = cfg.record_bytes;
+  g.block_records = cfg.block_records;
+  g.input_name = cfg.input_name;
+  return g;
+}
+
+std::uint64_t permute_and_verify(const PermuteConfig& cfg,
+                                 const IndexMap& map) {
+  pdm::Workspace ws(cfg.nodes);
+  comm::Cluster cluster(cfg.nodes);
+  sort::generate_input(ws, gen_config(cfg));
+  const PermuteResult r = run_permute(cluster, ws, cfg, map);
+  EXPECT_EQ(r.records, cfg.records);
+  return verify_permutation(ws, cfg, map);
+}
+
+PermuteConfig small_config() {
+  PermuteConfig cfg;
+  cfg.nodes = 4;
+  cfg.records = 10000;
+  cfg.record_bytes = 16;
+  cfg.block_records = 64;
+  cfg.buffer_records = 256;
+  cfg.num_buffers = 3;
+  return cfg;
+}
+
+TEST(MapHelpers, CyclicShiftIsBijective) {
+  const auto map = cyclic_shift_map(100, 37);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t g = 0; g < 100; ++g) {
+    const std::uint64_t d = map(g);
+    EXPECT_LT(d, 100u);
+    EXPECT_TRUE(seen.insert(d).second);
+  }
+  EXPECT_EQ(map(0), 37u);
+  EXPECT_EQ(map(99), 36u);
+}
+
+TEST(MapHelpers, ReversalIsInvolution) {
+  const auto map = reversal_map(64);
+  for (std::uint64_t g = 0; g < 64; ++g) {
+    EXPECT_EQ(map(map(g)), g);
+  }
+}
+
+TEST(MapHelpers, TransposeRoundTrips) {
+  const auto fwd = transpose_map(8, 24);
+  const auto back = transpose_map(24, 8);
+  for (std::uint64_t g = 0; g < 8 * 24; ++g) {
+    EXPECT_EQ(back(fwd(g)), g);
+  }
+}
+
+TEST(MapHelpers, RandomBijectionCoversDomain) {
+  for (std::uint64_t n : {1000ull, 1024ull, 10001ull}) {
+    const auto map = random_bijection_map(n, 7);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t g = 0; g < n; ++g) {
+      const std::uint64_t d = map(g);
+      ASSERT_LT(d, n);
+      ASSERT_TRUE(seen.insert(d).second) << "n=" << n << " g=" << g;
+    }
+  }
+}
+
+TEST(MapHelpers, RandomBijectionIsDeterministicPerSeed) {
+  const auto a = random_bijection_map(5000, 1);
+  const auto b = random_bijection_map(5000, 1);
+  const auto c = random_bijection_map(5000, 2);
+  int diff = 0;
+  for (std::uint64_t g = 0; g < 100; ++g) {
+    EXPECT_EQ(a(g), b(g));
+    diff += a(g) != c(g);
+  }
+  EXPECT_GT(diff, 90);
+}
+
+TEST(Permute, Identity) {
+  const auto cfg = small_config();
+  EXPECT_EQ(permute_and_verify(cfg, [](std::uint64_t g) { return g; }), 0u);
+}
+
+TEST(Permute, CyclicShift) {
+  const auto cfg = small_config();
+  EXPECT_EQ(permute_and_verify(cfg, cyclic_shift_map(cfg.records, 4321)), 0u);
+}
+
+TEST(Permute, Reversal) {
+  auto cfg = small_config();
+  cfg.records = 3000;  // per-record chunks: keep it quick
+  EXPECT_EQ(permute_and_verify(cfg, reversal_map(cfg.records)), 0u);
+}
+
+TEST(Permute, Transpose) {
+  auto cfg = small_config();
+  cfg.records = 128 * 80;
+  EXPECT_EQ(permute_and_verify(cfg, transpose_map(128, 80)), 0u);
+}
+
+TEST(Permute, RandomBijection) {
+  auto cfg = small_config();
+  cfg.records = 4000;
+  EXPECT_EQ(permute_and_verify(cfg, random_bijection_map(cfg.records, 9)), 0u);
+}
+
+using Params = std::tuple<int, std::uint32_t>;
+class PermuteSweep : public ::testing::TestWithParam<Params> {};
+
+INSTANTIATE_TEST_SUITE_P(Matrix, PermuteSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 5),
+                                            ::testing::Values(16u, 64u)));
+
+TEST_P(PermuteSweep, ShiftAcrossShapes) {
+  const auto [nodes, rec] = GetParam();
+  auto cfg = small_config();
+  cfg.nodes = nodes;
+  cfg.record_bytes = rec;
+  cfg.records = 7777;
+  cfg.block_records = 32;
+  EXPECT_EQ(permute_and_verify(cfg, cyclic_shift_map(cfg.records, 1234)), 0u);
+}
+
+TEST(Permute, MismatchedNodesRejected) {
+  auto cfg = small_config();
+  pdm::Workspace ws(2);
+  comm::Cluster cluster(4);
+  EXPECT_THROW(run_permute(cluster, ws, cfg, reversal_map(cfg.records)),
+               std::invalid_argument);
+}
+
+TEST(Permute, TinyAndUnevenShapes) {
+  auto cfg = small_config();
+  cfg.records = 5;
+  cfg.block_records = 2;
+  cfg.nodes = 3;
+  EXPECT_EQ(permute_and_verify(cfg, reversal_map(cfg.records)), 0u);
+}
+
+}  // namespace
+}  // namespace fg::apps

@@ -1,0 +1,157 @@
+// Property-style parameterized sweeps over framework and substrate
+// invariants: conservation of buffers through arbitrary pipeline shapes,
+// latency-model arithmetic, striping bijectivity, and end-to-end sort
+// idempotence over seeds.
+#include "core/fg.hpp"
+#include "pdm/striping.hpp"
+#include "sort/dataset.hpp"
+#include "sort/dsort.hpp"
+#include "util/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <tuple>
+
+namespace fg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pipeline conservation: for any (stages, buffers, rounds) shape, every
+// stage sees exactly `rounds` buffers and the pool never grows.
+// ---------------------------------------------------------------------------
+
+class PipelineShape
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PipelineShape,
+                         ::testing::Combine(::testing::Values(1, 3, 6),
+                                            ::testing::Values(1, 2, 5),
+                                            ::testing::Values(1, 17, 100)));
+
+TEST_P(PipelineShape, BuffersConserved) {
+  const auto [stages, buffers, rounds] = GetParam();
+  PipelineGraph g;
+  PipelineConfig cfg;
+  cfg.name = "p";
+  cfg.buffer_bytes = 32;
+  cfg.num_buffers = static_cast<std::size_t>(buffers);
+  cfg.rounds = static_cast<std::uint64_t>(rounds);
+  auto& p = g.add_pipeline(cfg);
+  std::vector<std::unique_ptr<MapStage>> owned;
+  std::vector<std::atomic<int>> counts(static_cast<std::size_t>(stages));
+  std::mutex m;
+  std::set<Buffer*> distinct;
+  for (int s = 0; s < stages; ++s) {
+    auto* counter = &counts[static_cast<std::size_t>(s)];
+    owned.push_back(std::make_unique<MapStage>(
+        "s" + std::to_string(s), [counter, &m, &distinct](Buffer& b) {
+          counter->fetch_add(1);
+          std::lock_guard<std::mutex> lock(m);
+          distinct.insert(&b);
+          return StageAction::kConvey;
+        }));
+    p.add_stage(*owned.back());
+  }
+  g.run();
+  for (int s = 0; s < stages; ++s) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(s)].load(), rounds);
+  }
+  EXPECT_LE(distinct.size(),
+            std::min<std::size_t>(static_cast<std::size_t>(buffers),
+                                  static_cast<std::size_t>(rounds)));
+}
+
+// ---------------------------------------------------------------------------
+// Latency model arithmetic.
+// ---------------------------------------------------------------------------
+
+class LatencyParam
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(Models, LatencyParam,
+                         ::testing::Combine(::testing::Values(0ull, 100ull,
+                                                              5000ull),
+                                            ::testing::Values(0ull, 1ull,
+                                                              100ull)));
+
+TEST_P(LatencyParam, CostIsMonotoneAndAffine) {
+  const auto [setup_us, mibps] = GetParam();
+  const util::LatencyModel m = util::LatencyModel::of(setup_us, mibps);
+  util::Duration prev = m.cost(0);
+  EXPECT_EQ(prev, std::chrono::microseconds(setup_us));
+  for (std::size_t bytes : {1024u, 65536u, 1048576u}) {
+    const util::Duration d = m.cost(bytes);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  if (mibps != 0) {
+    // Affine: cost(2b) - cost(b) == cost(b) - cost(0), within rounding.
+    const auto d1 = m.cost(1 << 20) - m.cost(0);
+    const auto d2 = m.cost(2 << 20) - m.cost(1 << 20);
+    const auto diff = d1 > d2 ? d1 - d2 : d2 - d1;
+    EXPECT_LE(diff, std::chrono::microseconds(2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Striping is a bijection: every global record has exactly one (node,
+// offset) home, and homes never collide.
+// ---------------------------------------------------------------------------
+
+class StripeParam
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(Layouts, StripeParam,
+                         ::testing::Combine(::testing::Values(1, 2, 7, 16),
+                                            ::testing::Values(1u, 8u, 64u)));
+
+TEST_P(StripeParam, HomesAreUniqueAndDense) {
+  const auto [nodes, block] = GetParam();
+  const pdm::StripeLayout layout(nodes, 16, block);
+  const std::uint64_t total = 3000;
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> homes;
+  for (std::uint64_t g = 0; g < total; ++g) {
+    const auto home =
+        std::make_pair(layout.node_of(g), layout.local_byte_offset(g));
+    EXPECT_TRUE(homes.emplace(home, g).second) << "collision at g=" << g;
+  }
+  // Per-node offsets are dense multiples of the record size.
+  for (int n = 0; n < nodes; ++n) {
+    std::uint64_t count = 0;
+    for (const auto& [home, g] : homes) count += home.first == n;
+    EXPECT_EQ(count, layout.node_records(n, total));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sort idempotence across seeds: different seeds give different inputs,
+// all of which must verify.
+// ---------------------------------------------------------------------------
+
+class SeedParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedParam,
+                         ::testing::Values(1ull, 42ull, 0xdeadbeefull));
+
+TEST_P(SeedParam, DsortVerifiesForEverySeed) {
+  sort::SortConfig cfg;
+  cfg.nodes = 3;
+  cfg.records = 5000;
+  cfg.block_records = 32;
+  cfg.buffer_records = 128;
+  cfg.merge_buffer_records = 64;
+  cfg.out_buffer_records = 128;
+  cfg.oversample = 16;
+  cfg.seed = GetParam();
+  cfg.dist = sort::Distribution::kNormal;
+  pdm::Workspace ws(cfg.nodes);
+  comm::Cluster cluster(cfg.nodes);
+  sort::generate_input(ws, cfg);
+  sort::run_dsort(cluster, ws, cfg);
+  EXPECT_TRUE(sort::verify_output(ws, cfg).ok());
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,118 @@
+// Tests for oversampling splitter selection: the splitters must be
+// sorted, identical on every node, and partition the data into nearly
+// equal shares — including under heavily duplicated keys, which is what
+// extended keys are for.  The paper reports all partition sizes within
+// 10% of the average.
+#include "comm/cluster.hpp"
+#include "sort/dataset.hpp"
+#include "sort/kernels.hpp"
+#include "sort/splitters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+namespace fg::sort {
+namespace {
+
+struct SplitterSetup {
+  std::vector<std::vector<ExtKey>> per_node;
+
+  explicit SplitterSetup(const SortConfig& cfg) {
+    pdm::Workspace ws(cfg.nodes);
+    comm::Cluster cluster(cfg.nodes);
+    generate_input(ws, cfg);
+    per_node.resize(static_cast<std::size_t>(cfg.nodes));
+    cluster.run([&](comm::NodeId me) {
+      pdm::File input = ws.disk(me).open(cfg.input_name);
+      per_node[static_cast<std::size_t>(me)] =
+          select_splitters(cluster.fabric(), me, ws.disk(me), input, cfg);
+    });
+  }
+};
+
+SortConfig base_config(int nodes, Distribution dist,
+                       std::uint64_t records = 20000) {
+  SortConfig cfg;
+  cfg.nodes = nodes;
+  cfg.records = records;
+  cfg.block_records = 64;
+  cfg.oversample = 128;
+  cfg.dist = dist;
+  return cfg;
+}
+
+/// Max partition share relative to the perfectly balanced share.
+double max_imbalance(const SortConfig& cfg, const std::vector<ExtKey>& spl) {
+  std::vector<std::uint64_t> counts(spl.size() + 1, 0);
+  for (std::uint64_t g = 0; g < cfg.records; ++g) {
+    const ExtKey k{key_for(cfg.dist, cfg.seed, g, cfg.records),
+                   util::mix64(g)};
+    ++counts[partition_of(k, spl)];
+  }
+  const double avg =
+      static_cast<double>(cfg.records) / static_cast<double>(counts.size());
+  double worst = 0;
+  for (auto c : counts) worst = std::max(worst, static_cast<double>(c) / avg);
+  return worst;
+}
+
+class SplitterParam
+    : public ::testing::TestWithParam<std::tuple<int, Distribution>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitterParam,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(Distribution::kUniform,
+                                         Distribution::kAllEqual,
+                                         Distribution::kNormal,
+                                         Distribution::kPoisson)));
+
+TEST_P(SplitterParam, IdenticalSortedAndBalanced) {
+  const auto [nodes, dist] = GetParam();
+  const SortConfig cfg = base_config(nodes, dist);
+  SplitterSetup setup(cfg);
+
+  const auto& first = setup.per_node.front();
+  ASSERT_EQ(first.size(), static_cast<std::size_t>(nodes - 1));
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  for (const auto& other : setup.per_node) {
+    EXPECT_EQ(other, first) << "splitters differ across nodes";
+  }
+  // Partition balance: the paper saw <= 1.10x the average.  Our tolerance
+  // is a little looser because the test datasets are small.
+  EXPECT_LT(max_imbalance(cfg, first), 1.35);
+}
+
+TEST(Splitters, SingleNodeHasNoSplitters) {
+  const SortConfig cfg = base_config(1, Distribution::kUniform, 1000);
+  SplitterSetup setup(cfg);
+  EXPECT_TRUE(setup.per_node[0].empty());
+}
+
+TEST(Splitters, MoreOversamplingTightensBalance) {
+  SortConfig loose = base_config(8, Distribution::kNormal, 40000);
+  loose.oversample = 8;
+  SortConfig tight = loose;
+  tight.oversample = 512;
+  const double bal_loose = max_imbalance(loose, SplitterSetup(loose).per_node[0]);
+  const double bal_tight = max_imbalance(tight, SplitterSetup(tight).per_node[0]);
+  EXPECT_LT(bal_tight, bal_loose + 0.05);  // no worse (allow noise)
+  EXPECT_LT(bal_tight, 1.25);
+}
+
+TEST(Splitters, AllEqualKeysStillSplit) {
+  // Without extended keys, every record would land in one partition.
+  const SortConfig cfg = base_config(4, Distribution::kAllEqual);
+  SplitterSetup setup(cfg);
+  const auto& spl = setup.per_node[0];
+  // All splitters share the sort key but differ in the tie-break.
+  for (const auto& s : spl) {
+    EXPECT_EQ(s.key, key_for(Distribution::kAllEqual, 1, 0, 1));
+  }
+  EXPECT_LT(max_imbalance(cfg, spl), 1.35);
+}
+
+}  // namespace
+}  // namespace fg::sort

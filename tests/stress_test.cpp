@@ -1,0 +1,353 @@
+// Stress and topology tests for the pipeline framework: dsort-pass-2
+// shaped graphs, fork-join built from intersecting pipelines, concurrent
+// independent graphs, long recycling runs, and failure injection in
+// custom stages and virtual groups.
+#include "core/fg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace fg {
+namespace {
+
+PipelineConfig cfg_of(std::string name, std::size_t buffer_bytes,
+                      std::size_t buffers, std::uint64_t rounds) {
+  PipelineConfig c;
+  c.name = std::move(name);
+  c.buffer_bytes = buffer_bytes;
+  c.num_buffers = buffers;
+  c.rounds = rounds;
+  return c;
+}
+
+TEST(Stress, LongRecyclingRun) {
+  // 50k rounds through 2 buffers: recycling must be airtight.
+  PipelineGraph g;
+  auto& p = g.add_pipeline(cfg_of("p", 64, 2, 50000));
+  std::uint64_t sum = 0;
+  MapStage fill("fill", [&](Buffer& b) {
+    b.set_size(8);
+    b.as<std::uint64_t>()[0] = b.round();
+    return StageAction::kConvey;
+  });
+  MapStage acc("acc", [&](Buffer& b) {
+    sum += b.as<std::uint64_t>()[0];
+    return StageAction::kConvey;
+  });
+  p.add_stage(fill);
+  p.add_stage(acc);
+  g.run();
+  EXPECT_EQ(sum, 50000ull * 49999 / 2);
+}
+
+TEST(Stress, ConcurrentIndependentGraphs) {
+  // Several PipelineGraphs running simultaneously on different threads —
+  // the situation on every node of a simulated cluster.
+  constexpr int kGraphs = 6;
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kGraphs; ++i) {
+    threads.emplace_back([&] {
+      PipelineGraph g;
+      auto& p = g.add_pipeline(cfg_of("p", 64, 3, 200));
+      MapStage s("s", [&](Buffer&) {
+        ++total;
+        return StageAction::kConvey;
+      });
+      p.add_stage(s);
+      g.run();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), kGraphs * 200);
+}
+
+/// Fork-join assembled from intersecting pipelines: a fork stage (common
+/// to the trunk and both branch pipelines) copies each trunk buffer's
+/// value into both branches; a join stage (common to the branches and the
+/// tail pipeline) adds matching pairs.  This is the construction the
+/// FG literature sketches for fork-join shapes.
+TEST(Stress, ForkJoinViaIntersectingPipelines) {
+  PipelineGraph g;
+  constexpr std::uint64_t kRounds = 40;
+  auto& trunk = g.add_pipeline(cfg_of("trunk", 64, 3, kRounds));
+  auto& ba = g.add_pipeline(cfg_of("branch-a", 64, 3, 0));
+  auto& bb = g.add_pipeline(cfg_of("branch-b", 64, 3, 0));
+  auto& tail = g.add_pipeline(cfg_of("tail", 64, 3, 0));
+
+  MapStage produce("produce", [](Buffer& b) {
+    b.set_size(8);
+    b.as<std::uint64_t>()[0] = b.round() + 1;
+    return StageAction::kConvey;
+  });
+  trunk.add_stage(produce);
+
+  struct Fork final : Stage {
+    Pipeline *trunk, *a, *b;
+    Fork(Pipeline& t, Pipeline& pa, Pipeline& pb)
+        : Stage("fork"), trunk(&t), a(&pa), b(&pb) {}
+    void run(StageContext& ctx) override {
+      for (;;) {
+        Buffer* in = ctx.accept(*trunk);
+        if (!in) break;
+        for (Pipeline* branch : {a, b}) {
+          Buffer* out = ctx.accept(*branch);
+          out->set_size(8);
+          out->as<std::uint64_t>()[0] = in->as<std::uint64_t>()[0];
+          ctx.convey(out);
+        }
+        ctx.convey(in);  // trunk buffer onward to the trunk sink
+      }
+      ctx.close(*a);
+      ctx.close(*b);
+    }
+  } fork(trunk, ba, bb);
+  trunk.add_stage(fork);
+  ba.add_stage(fork);
+  bb.add_stage(fork);
+
+  // Per-branch transforms (separate stage objects, own threads).
+  MapStage square("square", [](Buffer& b) {
+    auto v = b.as<std::uint64_t>()[0];
+    b.as<std::uint64_t>()[0] = v * v;
+    return StageAction::kConvey;
+  });
+  MapStage dub("double", [](Buffer& b) {
+    b.as<std::uint64_t>()[0] *= 2;
+    return StageAction::kConvey;
+  });
+  ba.add_stage(square);
+  bb.add_stage(dub);
+
+  struct Join final : Stage {
+    Pipeline *a, *b, *tail;
+    Join(Pipeline& pa, Pipeline& pb, Pipeline& pt)
+        : Stage("join"), a(&pa), b(&pb), tail(&pt) {}
+    void run(StageContext& ctx) override {
+      for (;;) {
+        Buffer* xa = ctx.accept(*a);
+        Buffer* xb = ctx.accept(*b);
+        if (!xa || !xb) {
+          if (xa) ctx.convey(xa);
+          if (xb) ctx.convey(xb);
+          break;
+        }
+        Buffer* out = ctx.accept(*tail);
+        out->set_size(8);
+        out->as<std::uint64_t>()[0] =
+            xa->as<std::uint64_t>()[0] + xb->as<std::uint64_t>()[0];
+        ctx.convey(out);
+        ctx.convey(xa);
+        ctx.convey(xb);
+      }
+      ctx.close(*tail);
+    }
+  } join(ba, bb, tail);
+  ba.add_stage(join);
+  bb.add_stage(join);
+  tail.add_stage(join);
+
+  std::uint64_t sum = 0;
+  MapStage collect("collect", [&](Buffer& b) {
+    sum += b.as<std::uint64_t>()[0];
+    return StageAction::kConvey;
+  });
+  tail.add_stage(collect);
+
+  g.run();
+  std::uint64_t expect = 0;
+  for (std::uint64_t v = 1; v <= kRounds; ++v) expect += v * v + 2 * v;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(Stress, DsortPass2ShapedGraph) {
+  // The full pass-2 topology standalone: k virtual verticals -> common
+  // merge -> horizontal -> consumer, plus an unrelated disjoint pipeline
+  // running beside it.
+  PipelineGraph g;
+  constexpr int kRuns = 24;
+  constexpr int kPerRun = 100;
+  std::vector<int> next(kRuns, 0);
+  MapStage vgen("vgen", [&](Buffer& b) {
+    auto& n = next[b.pipeline()];
+    if (n >= kPerRun) return StageAction::kRecycleAndClose;
+    const int take = std::min(7, kPerRun - n);
+    b.set_size(static_cast<std::size_t>(take) * 4);
+    for (int i = 0; i < take; ++i) {
+      b.as<int>()[static_cast<std::size_t>(i)] =
+          (n + i) * kRuns + static_cast<int>(b.pipeline());
+    }
+    n += take;
+    return StageAction::kConvey;
+  });
+  std::vector<Pipeline*> verts;
+  for (int v = 0; v < kRuns; ++v) {
+    auto& pv = g.add_pipeline(cfg_of("v" + std::to_string(v), 7 * 4, 2, 0));
+    pv.add_stage(vgen, StageMode::kVirtual);
+    verts.push_back(&pv);
+  }
+  auto& horiz = g.add_pipeline(cfg_of("h", 64 * 4, 3, 0));
+
+  struct Merge final : Stage {
+    std::vector<Pipeline*>& verts;
+    Pipeline& horiz;
+    Merge(std::vector<Pipeline*>& v, Pipeline& h)
+        : Stage("merge"), verts(v), horiz(h) {}
+    void run(StageContext& ctx) override {
+      struct Cur {
+        Buffer* b{nullptr};
+        std::size_t i{0};
+      };
+      std::vector<Cur> cur(verts.size());
+      for (std::size_t v = 0; v < verts.size(); ++v) {
+        cur[v] = {ctx.accept(*verts[v]), 0};
+      }
+      Buffer* out = ctx.accept(horiz);
+      std::size_t oi = 0;
+      for (;;) {
+        int best = -1;
+        for (std::size_t v = 0; v < verts.size(); ++v) {
+          if (!cur[v].b) continue;
+          if (best < 0 ||
+              cur[v].b->as<int>()[cur[v].i] <
+                  cur[static_cast<std::size_t>(best)]
+                      .b->as<int>()[cur[static_cast<std::size_t>(best)].i]) {
+            best = static_cast<int>(v);
+          }
+        }
+        if (best < 0) break;
+        auto& c = cur[static_cast<std::size_t>(best)];
+        out->capacity_as<int>()[oi++] = c.b->as<int>()[c.i++];
+        if (c.i * 4 >= c.b->size()) {
+          ctx.convey(c.b);
+          cur[static_cast<std::size_t>(best)] = {
+              ctx.accept(*verts[static_cast<std::size_t>(best)]), 0};
+        }
+        if (oi == out->capacity() / 4) {
+          out->set_size(oi * 4);
+          ctx.convey(out);
+          out = ctx.accept(horiz);
+          oi = 0;
+        }
+      }
+      if (oi) {
+        out->set_size(oi * 4);
+        ctx.convey(out);
+      } else {
+        ctx.recycle(out);
+      }
+      ctx.close(horiz);
+    }
+  } merge(verts, horiz);
+  for (auto* pv : verts) pv->add_stage(merge);
+  horiz.add_stage(merge);
+
+  std::vector<int> merged;
+  MapStage consume("consume", [&](Buffer& b) {
+    for (int v : b.as<int>()) merged.push_back(v);
+    return StageAction::kConvey;
+  });
+  horiz.add_stage(consume);
+
+  // A disjoint bystander pipeline in the same graph.
+  auto& solo = g.add_pipeline(cfg_of("solo", 64, 2, 500));
+  std::atomic<int> solo_count{0};
+  MapStage solo_stage("solo", [&](Buffer&) {
+    ++solo_count;
+    return StageAction::kConvey;
+  });
+  solo.add_stage(solo_stage);
+
+  g.run();
+  ASSERT_EQ(merged.size(), static_cast<std::size_t>(kRuns) * kPerRun);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+  EXPECT_EQ(solo_count.load(), 500);
+}
+
+TEST(Stress, CustomStageExceptionAborts) {
+  PipelineGraph g;
+  auto& p = g.add_pipeline(cfg_of("p", 64, 2, 0));
+  struct Boom final : Stage {
+    using Stage::Stage;
+    void run(StageContext& ctx) override {
+      (void)ctx.accept();
+      throw std::runtime_error("custom stage failure");
+    }
+  } boom("boom");
+  p.add_stage(boom);
+  MapStage after("after", [](Buffer&) { return StageAction::kConvey; });
+  p.add_stage(after);
+  EXPECT_THROW(g.run(), std::runtime_error);
+}
+
+TEST(Stress, VirtualStageExceptionAborts) {
+  PipelineGraph g;
+  MapStage shared("shared", [](Buffer& b) -> StageAction {
+    if (b.pipeline() == 2 && b.round() == 1) {
+      throw std::runtime_error("virtual stage failure");
+    }
+    return StageAction::kConvey;
+  });
+  for (int i = 0; i < 4; ++i) {
+    auto& p = g.add_pipeline(cfg_of("p" + std::to_string(i), 64, 2, 100));
+    p.add_stage(shared, StageMode::kVirtual);
+  }
+  EXPECT_THROW(g.run(), std::runtime_error);
+}
+
+TEST(Stress, ManyStagesDeepPipeline) {
+  PipelineGraph g;
+  auto& p = g.add_pipeline(cfg_of("deep", 64, 4, 100));
+  std::vector<std::unique_ptr<MapStage>> stages;
+  std::atomic<int> touches{0};
+  for (int i = 0; i < 12; ++i) {
+    stages.push_back(std::make_unique<MapStage>(
+        "s" + std::to_string(i), [&](Buffer&) {
+          ++touches;
+          return StageAction::kConvey;
+        }));
+    p.add_stage(*stages.back());
+  }
+  g.run();
+  EXPECT_EQ(touches.load(), 12 * 100);
+}
+
+TEST(Stress, InterleavedClosePatterns) {
+  // Virtual pipelines that close at staggered times while sharing all
+  // their workers; repeated to shake out ordering races.
+  for (int iter = 0; iter < 20; ++iter) {
+    PipelineGraph g;
+    constexpr int kPipes = 8;
+    std::vector<int> remaining(kPipes);
+    for (int i = 0; i < kPipes; ++i) remaining[static_cast<std::size_t>(i)] = 3 + 5 * i;
+    std::atomic<int> total{0};
+    MapStage gen("gen", [&](Buffer& b) {
+      auto& r = remaining[b.pipeline()];
+      if (r == 0) return StageAction::kRecycleAndClose;
+      --r;
+      return StageAction::kConvey;
+    });
+    MapStage count("count", [&](Buffer&) {
+      ++total;
+      return StageAction::kConvey;
+    });
+    for (int i = 0; i < kPipes; ++i) {
+      auto& p = g.add_pipeline(cfg_of("p" + std::to_string(i), 32, 2, 0));
+      p.add_stage(gen, StageMode::kVirtual);
+      p.add_stage(count, StageMode::kVirtual);
+    }
+    g.run();
+    int expect = 0;
+    for (int i = 0; i < kPipes; ++i) expect += 3 + 5 * i;
+    ASSERT_EQ(total.load(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace fg

@@ -1,0 +1,188 @@
+// fgsort — command-line driver for the out-of-core sorting programs.
+//
+// Provisions a simulated cluster, generates a striped dataset, runs the
+// requested program(s), verifies the output, and reports per-phase times
+// plus substrate counters.  Everything the benches do, but under manual
+// control — the tool a downstream user pokes the library with first.
+//
+//   fgsort [options]
+//     --program dsort|csort|ssort|all   (default: all)
+//     --nodes N                         (default: 16)
+//     --records N                       (default: 1048576; csort rounds
+//                                        this to a compatible geometry)
+//     --record-bytes 16|64|...          (default: 16)
+//     --dist uniform|equal|normal|poisson|sorted|reversed|clustered
+//     --seed S                          (default: 1)
+//     --latency paper|none              (default: paper)
+//     --seek-aware                      (seek-aware disk charging)
+//     --stats                           (print per-node substrate counters)
+//     --keep DIR                        (keep the workspace under DIR)
+#include "sort/experiment.hpp"
+#include "sort/ssort.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+namespace {
+
+using namespace fg;
+
+struct Options {
+  std::string program{"all"};
+  sort::SortConfig cfg;
+  bool paper_latency{true};
+  bool seek_aware{false};
+  bool stats{false};
+  std::optional<std::string> keep_dir;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--program dsort|csort|ssort|all] [--nodes N]\n"
+               "          [--records N] [--record-bytes B] [--dist D]\n"
+               "          [--seed S] [--latency paper|none] [--seek-aware]\n"
+               "          [--stats] [--keep DIR]\n",
+               argv0);
+  std::exit(2);
+}
+
+sort::Distribution parse_dist(const std::string& s) {
+  if (s == "uniform") return sort::Distribution::kUniform;
+  if (s == "equal") return sort::Distribution::kAllEqual;
+  if (s == "normal") return sort::Distribution::kNormal;
+  if (s == "poisson") return sort::Distribution::kPoisson;
+  if (s == "sorted") return sort::Distribution::kSorted;
+  if (s == "reversed") return sort::Distribution::kReversed;
+  if (s == "clustered") return sort::Distribution::kNodeClustered;
+  std::fprintf(stderr, "fgsort: unknown distribution '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  opt.cfg.nodes = 16;
+  opt.cfg.records = 1 << 20;
+  opt.cfg.oversample = 128;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--program") opt.program = need(i);
+    else if (a == "--nodes") opt.cfg.nodes = std::atoi(need(i).c_str());
+    else if (a == "--records") opt.cfg.records = std::strtoull(need(i).c_str(), nullptr, 10);
+    else if (a == "--record-bytes") opt.cfg.record_bytes = static_cast<std::uint32_t>(std::atoi(need(i).c_str()));
+    else if (a == "--dist") opt.cfg.dist = parse_dist(need(i));
+    else if (a == "--seed") opt.cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+    else if (a == "--latency") opt.paper_latency = need(i) == "paper";
+    else if (a == "--seek-aware") opt.seek_aware = true;
+    else if (a == "--stats") opt.stats = true;
+    else if (a == "--keep") opt.keep_dir = need(i);
+    else usage(argv[0]);
+  }
+  if (opt.program != "dsort" && opt.program != "csort" &&
+      opt.program != "ssort" && opt.program != "all") {
+    usage(argv[0]);
+  }
+  // Buffer geometry: 64 KiB blocks, 256 KiB pipeline buffers.
+  opt.cfg.block_records = (4096 * 16) / opt.cfg.record_bytes;
+  opt.cfg.buffer_records = (16384 * 16) / opt.cfg.record_bytes;
+  opt.cfg.merge_buffer_records = (4096 * 16) / opt.cfg.record_bytes;
+  opt.cfg.out_buffer_records = (16384 * 16) / opt.cfg.record_bytes;
+  // csort needs a compatible geometry; use the same N for all programs.
+  opt.cfg.records = sort::csort_compatible_records(
+      opt.cfg.records, opt.cfg.nodes, opt.cfg.block_records);
+  return opt;
+}
+
+struct RunReport {
+  std::string program;
+  sort::SortResult result;
+  sort::VerifyResult verify;
+  double disk_busy_seconds{0};
+  std::uint64_t bytes_sent{0};
+};
+
+RunReport run_one(const std::string& program, const Options& opt) {
+  const auto lat = opt.paper_latency ? sort::LatencyProfile::paper_like()
+                                     : sort::LatencyProfile::none();
+  sort::SortConfig cfg = opt.cfg;
+  cfg.compute_model = lat.compute;
+
+  auto ws = opt.keep_dir
+                ? std::make_unique<pdm::Workspace>(
+                      std::filesystem::path(*opt.keep_dir) / program,
+                      cfg.nodes, lat.disk)
+                : std::make_unique<pdm::Workspace>(cfg.nodes, lat.disk);
+  if (opt.keep_dir) ws->keep();
+  if (opt.seek_aware) ws->set_seek_aware(true);
+  comm::Cluster cluster(cfg.nodes, lat.net);
+
+  sort::generate_input(*ws, cfg);
+  RunReport report;
+  report.program = program;
+  if (program == "dsort") {
+    report.result = sort::run_dsort(cluster, *ws, cfg);
+  } else if (program == "csort") {
+    report.result = sort::run_csort(cluster, *ws, cfg);
+  } else {
+    report.result = sort::run_ssort(cluster, *ws, cfg);
+  }
+  report.verify = sort::verify_output(*ws, cfg);
+  for (int n = 0; n < cfg.nodes; ++n) {
+    report.disk_busy_seconds += util::to_seconds(ws->disk(n).stats().busy);
+    report.bytes_sent += cluster.fabric().stats(n).bytes_sent;
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  std::printf("fgsort: %llu x %u-byte records (%s), %d simulated nodes, "
+              "latency=%s%s\n",
+              static_cast<unsigned long long>(opt.cfg.records),
+              opt.cfg.record_bytes, sort::to_string(opt.cfg.dist).c_str(),
+              opt.cfg.nodes, opt.paper_latency ? "paper" : "none",
+              opt.seek_aware ? ", seek-aware" : "");
+
+  std::vector<RunReport> reports;
+  for (const char* p : {"dsort", "csort", "ssort"}) {
+    if (opt.program == "all" || opt.program == p) {
+      reports.push_back(run_one(p, opt));
+    }
+  }
+
+  util::TextTable t;
+  t.header({"program", "sampling s", "pass 1 s", "pass 2 s", "pass 3 s",
+            "total s", "verified"});
+  for (const auto& r : reports) {
+    const auto& pt = r.result.times;
+    t.row({r.program, util::fmt_seconds(pt.sampling),
+           pt.passes.size() > 0 ? util::fmt_seconds(pt.passes[0]) : "-",
+           pt.passes.size() > 1 ? util::fmt_seconds(pt.passes[1]) : "-",
+           pt.passes.size() > 2 ? util::fmt_seconds(pt.passes[2]) : "-",
+           util::fmt_seconds(pt.total()),
+           r.verify.ok() ? "yes" : "NO"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  if (opt.stats) {
+    std::printf("\nsubstrate totals (all nodes):\n");
+    for (const auto& r : reports) {
+      std::printf("  %-5s disk busy %s  network sent %s\n", r.program.c_str(),
+                  util::fmt_seconds(r.disk_busy_seconds).c_str(),
+                  util::fmt_bytes(r.bytes_sent).c_str());
+    }
+  }
+  for (const auto& r : reports) {
+    if (!r.verify.ok()) return 1;
+  }
+  return 0;
+}
