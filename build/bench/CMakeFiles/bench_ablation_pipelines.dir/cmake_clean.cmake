@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pipelines.dir/bench_ablation_pipelines.cpp.o"
+  "CMakeFiles/bench_ablation_pipelines.dir/bench_ablation_pipelines.cpp.o.d"
+  "bench_ablation_pipelines"
+  "bench_ablation_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

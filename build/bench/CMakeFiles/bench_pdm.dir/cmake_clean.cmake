@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdm.dir/bench_pdm.cpp.o"
+  "CMakeFiles/bench_pdm.dir/bench_pdm.cpp.o.d"
+  "bench_pdm"
+  "bench_pdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

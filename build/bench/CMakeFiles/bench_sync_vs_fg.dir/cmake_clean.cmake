@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_vs_fg.dir/bench_sync_vs_fg.cpp.o"
+  "CMakeFiles/bench_sync_vs_fg.dir/bench_sync_vs_fg.cpp.o.d"
+  "bench_sync_vs_fg"
+  "bench_sync_vs_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_vs_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

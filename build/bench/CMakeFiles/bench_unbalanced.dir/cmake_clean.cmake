@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unbalanced.dir/bench_unbalanced.cpp.o"
+  "CMakeFiles/bench_unbalanced.dir/bench_unbalanced.cpp.o.d"
+  "bench_unbalanced"
+  "bench_unbalanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unbalanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figure.cpp" "bench/CMakeFiles/fg_bench_common.dir/bench_figure.cpp.o" "gcc" "bench/CMakeFiles/fg_bench_common.dir/bench_figure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sort/CMakeFiles/fg_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fg_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/fg_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

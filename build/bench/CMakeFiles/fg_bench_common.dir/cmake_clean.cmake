@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_bench_common.dir/bench_figure.cpp.o"
+  "CMakeFiles/fg_bench_common.dir/bench_figure.cpp.o.d"
+  "libfg_bench_common.a"
+  "libfg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_runs.dir/merge_runs.cpp.o"
+  "CMakeFiles/merge_runs.dir/merge_runs.cpp.o.d"
+  "merge_runs"
+  "merge_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

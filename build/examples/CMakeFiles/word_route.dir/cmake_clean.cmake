@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_route.dir/word_route.cpp.o"
+  "CMakeFiles/word_route.dir/word_route.cpp.o.d"
+  "word_route"
+  "word_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

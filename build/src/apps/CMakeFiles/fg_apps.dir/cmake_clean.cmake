@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_apps.dir/ooc_permute.cpp.o"
+  "CMakeFiles/fg_apps.dir/ooc_permute.cpp.o.d"
+  "libfg_apps.a"
+  "libfg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

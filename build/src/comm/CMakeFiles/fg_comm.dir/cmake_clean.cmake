@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_comm.dir/cluster.cpp.o"
+  "CMakeFiles/fg_comm.dir/cluster.cpp.o.d"
+  "CMakeFiles/fg_comm.dir/fabric.cpp.o"
+  "CMakeFiles/fg_comm.dir/fabric.cpp.o.d"
+  "libfg_comm.a"
+  "libfg_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

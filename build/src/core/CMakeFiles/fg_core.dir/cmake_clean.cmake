@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_core.dir/graph.cpp.o"
+  "CMakeFiles/fg_core.dir/graph.cpp.o.d"
+  "libfg_core.a"
+  "libfg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_pdm.dir/disk.cpp.o"
+  "CMakeFiles/fg_pdm.dir/disk.cpp.o.d"
+  "CMakeFiles/fg_pdm.dir/workspace.cpp.o"
+  "CMakeFiles/fg_pdm.dir/workspace.cpp.o.d"
+  "libfg_pdm.a"
+  "libfg_pdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_pdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

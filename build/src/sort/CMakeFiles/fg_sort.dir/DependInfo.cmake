@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/csort.cpp" "src/sort/CMakeFiles/fg_sort.dir/csort.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/csort.cpp.o.d"
+  "/root/repo/src/sort/dataset.cpp" "src/sort/CMakeFiles/fg_sort.dir/dataset.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/dataset.cpp.o.d"
+  "/root/repo/src/sort/distributions.cpp" "src/sort/CMakeFiles/fg_sort.dir/distributions.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/distributions.cpp.o.d"
+  "/root/repo/src/sort/dsort.cpp" "src/sort/CMakeFiles/fg_sort.dir/dsort.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/dsort.cpp.o.d"
+  "/root/repo/src/sort/experiment.cpp" "src/sort/CMakeFiles/fg_sort.dir/experiment.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/experiment.cpp.o.d"
+  "/root/repo/src/sort/kernels.cpp" "src/sort/CMakeFiles/fg_sort.dir/kernels.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/kernels.cpp.o.d"
+  "/root/repo/src/sort/splitters.cpp" "src/sort/CMakeFiles/fg_sort.dir/splitters.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/splitters.cpp.o.d"
+  "/root/repo/src/sort/ssort.cpp" "src/sort/CMakeFiles/fg_sort.dir/ssort.cpp.o" "gcc" "src/sort/CMakeFiles/fg_sort.dir/ssort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fg_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/fg_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

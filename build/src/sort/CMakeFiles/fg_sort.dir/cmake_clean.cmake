@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_sort.dir/csort.cpp.o"
+  "CMakeFiles/fg_sort.dir/csort.cpp.o.d"
+  "CMakeFiles/fg_sort.dir/dataset.cpp.o"
+  "CMakeFiles/fg_sort.dir/dataset.cpp.o.d"
+  "CMakeFiles/fg_sort.dir/distributions.cpp.o"
+  "CMakeFiles/fg_sort.dir/distributions.cpp.o.d"
+  "CMakeFiles/fg_sort.dir/dsort.cpp.o"
+  "CMakeFiles/fg_sort.dir/dsort.cpp.o.d"
+  "CMakeFiles/fg_sort.dir/experiment.cpp.o"
+  "CMakeFiles/fg_sort.dir/experiment.cpp.o.d"
+  "CMakeFiles/fg_sort.dir/kernels.cpp.o"
+  "CMakeFiles/fg_sort.dir/kernels.cpp.o.d"
+  "CMakeFiles/fg_sort.dir/splitters.cpp.o"
+  "CMakeFiles/fg_sort.dir/splitters.cpp.o.d"
+  "CMakeFiles/fg_sort.dir/ssort.cpp.o"
+  "CMakeFiles/fg_sort.dir/ssort.cpp.o.d"
+  "libfg_sort.a"
+  "libfg_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_util.dir/latency.cpp.o"
+  "CMakeFiles/fg_util.dir/latency.cpp.o.d"
+  "CMakeFiles/fg_util.dir/log.cpp.o"
+  "CMakeFiles/fg_util.dir/log.cpp.o.d"
+  "CMakeFiles/fg_util.dir/stats.cpp.o"
+  "CMakeFiles/fg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fg_util.dir/table.cpp.o"
+  "CMakeFiles/fg_util.dir/table.cpp.o.d"
+  "libfg_util.a"
+  "libfg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

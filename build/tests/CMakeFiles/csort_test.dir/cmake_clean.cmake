@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csort_test.dir/csort_test.cpp.o"
+  "CMakeFiles/csort_test.dir/csort_test.cpp.o.d"
+  "csort_test"
+  "csort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

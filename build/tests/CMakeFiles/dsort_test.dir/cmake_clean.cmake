@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsort_test.dir/dsort_test.cpp.o"
+  "CMakeFiles/dsort_test.dir/dsort_test.cpp.o.d"
+  "dsort_test"
+  "dsort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

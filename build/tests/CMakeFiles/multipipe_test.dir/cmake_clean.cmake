@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipipe_test.dir/multipipe_test.cpp.o"
+  "CMakeFiles/multipipe_test.dir/multipipe_test.cpp.o.d"
+  "multipipe_test"
+  "multipipe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

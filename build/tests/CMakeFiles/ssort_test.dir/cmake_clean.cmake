@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssort_test.dir/ssort_test.cpp.o"
+  "CMakeFiles/ssort_test.dir/ssort_test.cpp.o.d"
+  "ssort_test"
+  "ssort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

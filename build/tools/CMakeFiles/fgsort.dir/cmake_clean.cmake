@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgsort.dir/fgsort.cpp.o"
+  "CMakeFiles/fgsort.dir/fgsort.cpp.o.d"
+  "fgsort"
+  "fgsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
