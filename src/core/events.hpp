@@ -1,0 +1,88 @@
+// The instrumentation layer: per-stage event hooks emitted by the
+// runtime while a graph executes.
+//
+// The runtime always aggregates StageStats (cheap counters + timers); an
+// application that wants finer grain installs an EventSink before run()
+// and receives one callback per instrumented operation — buffer accepted,
+// conveyed, recycled, caboose forwarded, pipeline closed, and queue
+// occupancy sampled at push/pop.  Sinks must be thread-safe: workers call
+// them concurrently.  TracingEventSink is the batteries-included sink
+// that records everything into a util::TraceLog for JSON export.
+#pragma once
+
+#include "core/buffer.hpp"
+#include "core/queue.hpp"
+#include "core/stage_stats.hpp"
+#include "util/trace.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace fg {
+
+enum class StageEventKind : std::uint8_t {
+  kBufferAccepted,    ///< a worker popped a data buffer from its inbound queue
+  kBufferConveyed,    ///< a worker pushed a data buffer to its successor
+  kBufferRecycled,    ///< a buffer went straight back to its source pool
+  kCabooseForwarded,  ///< a worker forwarded a pipeline's caboose
+  kPipelineClosed,    ///< a stage closed a pipeline (source told to stop)
+  kQueuePush,         ///< occupancy sample after a queue push
+  kQueuePop,          ///< occupancy sample after a queue pop
+};
+
+/// Static name for an event kind (used in traces and JSON).
+const char* to_string(StageEventKind k) noexcept;
+
+struct StageEvent {
+  StageEventKind kind;
+  std::uint32_t worker;    ///< worker index (queue index for kQueuePush/Pop)
+  PipelineId pipeline;     ///< concerned pipeline, kNoPipeline if n/a
+  std::size_t depth;       ///< queue occupancy after the op (queue events)
+};
+
+/// Observer interface.  Callbacks run on worker threads, inside the hot
+/// loop: implementations must be thread-safe and should be cheap.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const StageEvent& e) = 0;
+};
+
+/// Records every event into a bounded util::TraceLog, ready for JSON
+/// export.  scope = worker/queue index, aux = pipeline id, value = depth.
+class TracingEventSink final : public EventSink {
+ public:
+  explicit TracingEventSink(std::size_t max_entries = 1u << 16)
+      : log_(max_entries) {}
+
+  void on_event(const StageEvent& e) override {
+    log_.record(to_string(e.kind), e.worker, e.pipeline,
+                static_cast<std::uint64_t>(e.depth));
+  }
+
+  util::TraceLog& log() noexcept { return log_; }
+  const util::TraceLog& log() const noexcept { return log_; }
+
+ private:
+  util::TraceLog log_;
+};
+
+/// Everything one completed run reports: per-worker StageStats, per-queue
+/// counters, and the run's wall time.  Reset at the start of every run of
+/// a rerunnable graph.
+struct RunStats {
+  std::vector<StageStats> stages;
+  std::vector<QueueStats> queues;
+  double wall_seconds{0.0};
+  std::size_t runs_completed{0};  ///< how many times the graph has run
+
+  /// Emit as one JSON object: {"wall_seconds":…,"stages":[…],"queues":[…]}.
+  void write_json(util::JsonWriter& w) const;
+};
+
+/// Emit a vector of StageStats as a JSON array (shared by RunStats and
+/// the sort drivers' aggregated reports).
+void write_stage_stats_json(util::JsonWriter& w,
+                            const std::vector<StageStats>& stages);
+
+}  // namespace fg

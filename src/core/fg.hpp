@@ -15,8 +15,11 @@
 #pragma once
 
 #include "core/buffer.hpp"     // IWYU pragma: export
+#include "core/events.hpp"     // IWYU pragma: export
 #include "core/graph.hpp"      // IWYU pragma: export
 #include "core/pipeline.hpp"   // IWYU pragma: export
+#include "core/plan.hpp"       // IWYU pragma: export
 #include "core/queue.hpp"      // IWYU pragma: export
+#include "core/runtime.hpp"    // IWYU pragma: export
 #include "core/stage.hpp"      // IWYU pragma: export
 #include "core/stage_stats.hpp"  // IWYU pragma: export

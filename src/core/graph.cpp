@@ -1,768 +1,32 @@
+// Thin facade tying the layers together: pipelines are collected here,
+// frozen into an ExecutionPlan on first use, and each run() executes the
+// cached plan on a fresh GraphRuntime.  All topology logic lives in
+// core/plan.cpp; all execution logic lives in core/runtime.cpp.
 #include "core/graph.hpp"
 
-#include "util/timer.hpp"
-
-#include <algorithm>
-#include <deque>
-#include <functional>
-#include <map>
-#include <mutex>
-#include <sstream>
 #include <stdexcept>
-#include <thread>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 namespace fg {
 
-namespace {
-
-/// Thrown inside a custom stage's context when the graph aborts; caught
-/// by the worker entry so error unwinding does not look like a stage
-/// failure.
-struct AbortSignal {};
-
-enum class WType : std::uint8_t { kSource, kSink, kMap, kCustom };
-
-util::Duration now_minus(util::TimePoint t0) {
-  return util::Clock::now() - t0;
-}
-
-}  // namespace
-
-void MapStage::run(StageContext&) {
-  throw std::logic_error(
-      "fg::MapStage::run must not be called directly; MapStages are driven "
-      "by the framework loop");
-}
-
-void Pipeline::add_stage(Stage& s, StageMode mode) {
-  if (frozen_) {
-    throw std::logic_error("fg::Pipeline: cannot add stages after the graph "
-                           "topology has been built");
-  }
-  for (const auto& e : entries_) {
-    if (e.stage == &s) {
-      throw std::logic_error("fg::Pipeline: stage '" + s.name() +
-                             "' added twice to pipeline '" + cfg_.name + "'");
-    }
-  }
-  entries_.push_back(Entry{&s, mode, 1});
-}
-
-void Pipeline::add_stage_replicated(MapStage& s, std::size_t replicas) {
-  if (replicas == 0) {
-    throw std::logic_error("fg::Pipeline: a replicated stage needs at least "
-                           "one replica");
-  }
-  add_stage(s, StageMode::kNormal);
-  entries_.back().replicas = replicas;
-}
-
-// ---------------------------------------------------------------------------
-// Implementation
-// ---------------------------------------------------------------------------
-
 struct PipelineGraph::Impl {
-  struct Worker {
-    WType type{WType::kMap};
-    Stage* stage{nullptr};  // null for source/sink
-    bool virt{false};
-    std::vector<PipelineId> members;  // unique, insertion order
-    BufferQueue* in{nullptr};         // all types except custom
-    std::unordered_map<PipelineId, BufferQueue*> in_by_pid;  // custom only
-    std::unordered_map<PipelineId, BufferQueue*> out;  // successor per pid
-    StageStats stats;
-    std::thread thread;
-
-    struct SrcState {
-      std::uint64_t target{0};  // 0 = until closed
-      std::uint64_t emitted{0};
-      bool caboose_sent{false};
-    };
-    std::unordered_map<PipelineId, SrcState> src;
-
-    // Replicated map stages: `replicas` threads share this worker's queue
-    // and this state.
-    std::size_t replicas{1};
-    std::vector<std::thread> extra_threads;
-    struct ReplShared {
-      std::mutex mutex;
-      std::condition_variable cv;
-      std::unordered_map<PipelineId, int> in_flight;
-      std::unordered_map<PipelineId, bool> closed;
-      std::size_t active{0};
-      bool initialized{false};
-    } repl;
-
-    bool has_member(PipelineId pid) const {
-      return std::find(members.begin(), members.end(), pid) != members.end();
-    }
-    void add_member(PipelineId pid) {
-      if (!has_member(pid)) members.push_back(pid);
-    }
-  };
-
   std::vector<std::unique_ptr<Pipeline>> pipelines;
-  std::vector<std::unique_ptr<BufferQueue>> queues;
-  std::vector<std::unique_ptr<Worker>> workers;
-  std::unordered_map<PipelineId, Worker*> source_of;
-  std::unordered_map<PipelineId, std::vector<std::unique_ptr<Buffer>>> pools;
-  bool built{false};
-  bool ran{false};
+  std::unique_ptr<ExecutionPlan> plan;   // cached after first build
+  std::unique_ptr<GraphRuntime> last;    // most recent run (stats live here)
+  EventSink* sink{nullptr};
+  std::size_t runs_completed{0};
 
-  std::mutex err_mutex;
-  std::exception_ptr first_error;
-
-  BufferQueue* new_queue(std::size_t capacity) {
-    queues.push_back(std::make_unique<BufferQueue>(capacity));
-    return queues.back().get();
+  ExecutionPlan& ensure_plan() {
+    if (!plan) plan = std::make_unique<ExecutionPlan>(pipelines);
+    return *plan;
   }
-
-  BufferQueue* source_in(PipelineId pid) const {
-    return source_of.at(pid)->in;
-  }
-
-  void record_error(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(err_mutex);
-    if (!first_error) first_error = e;
-  }
-
-  void abort_all() {
-    for (auto& q : queues) q->abort();
-  }
-
-  std::string pipeline_names(const std::vector<PipelineId>& pids) const {
-    std::ostringstream out;
-    for (std::size_t i = 0; i < pids.size(); ++i) {
-      if (i) out << ',';
-      out << pipelines[pids[i]]->name();
-    }
-    return out.str();
-  }
-
-  // -- topology ------------------------------------------------------------
-
-  void build();
-
-  // -- worker loops ----------------------------------------------------------
-
-  void worker_entry(Worker* w);
-  void source_loop(Worker& w);
-  void sink_loop(Worker& w);
-  void map_loop(Worker& w);
-  void map_loop_replicated(Worker& w);
-  void custom_loop(Worker& w);
-
-  class Context;
 };
-
-void PipelineGraph::Impl::build() {
-  if (built) return;
-  built = true;
-
-  if (pipelines.empty()) {
-    throw std::logic_error("fg::PipelineGraph: no pipelines");
-  }
-
-  // Gather where each stage object appears.
-  struct Occ {
-    PipelineId pid;
-    StageMode mode;
-    std::size_t replicas;
-  };
-  // std::map over pointers gives nondeterministic *order* across runs but
-  // identical *topology*; worker creation order only affects stats order,
-  // so sort occurrences later by pid for stable member order.
-  std::map<Stage*, std::vector<Occ>> occurrences;
-  for (auto& up : pipelines) {
-    Pipeline& p = *up;
-    PipelineGraph::freeze(p);
-    const auto& entries = PipelineGraph::entries(p);
-    if (entries.empty()) {
-      throw std::logic_error("fg::PipelineGraph: pipeline '" + p.name() +
-                             "' has no stages");
-    }
-    for (const auto& e : entries) {
-      occurrences[e.stage].push_back(Occ{p.id(), e.mode, e.replicas});
-    }
-  }
-
-  // One worker per distinct stage object.
-  std::unordered_map<Stage*, Worker*> worker_of_stage;
-  for (auto& [st, occs] : occurrences) {
-    auto w = std::make_unique<Worker>();
-    w->stage = st;
-    const bool multi = occs.size() > 1;
-    const bool all_virtual =
-        std::all_of(occs.begin(), occs.end(),
-                    [](const Occ& o) { return o.mode == StageMode::kVirtual; });
-    if (multi) {
-      if (all_virtual) {
-        if (!st->is_map()) {
-          throw std::logic_error("fg::PipelineGraph: virtual stage '" +
-                                 st->name() + "' must be a MapStage");
-        }
-        w->type = WType::kMap;
-        w->virt = true;
-      } else {
-        if (st->is_map()) {
-          throw std::logic_error(
-              "fg::PipelineGraph: stage '" + st->name() +
-              "' is shared by several pipelines without being virtual; the "
-              "common stage of intersecting pipelines must be a custom Stage");
-        }
-        w->type = WType::kCustom;
-      }
-    } else {
-      w->type = st->is_map() ? WType::kMap : WType::kCustom;
-      w->virt = st->is_map() && occs.front().mode == StageMode::kVirtual;
-      w->replicas = occs.front().replicas;
-    }
-    if (multi) {
-      for (const auto& o : occs) {
-        if (o.replicas > 1) {
-          throw std::logic_error(
-              "fg::PipelineGraph: replicated stage '" + st->name() +
-              "' may belong to only one pipeline");
-        }
-      }
-    }
-    for (const auto& o : occs) {
-      if (w->has_member(o.pid)) {
-        throw std::logic_error("fg::PipelineGraph: stage '" + st->name() +
-                               "' appears twice in one pipeline");
-      }
-      w->add_member(o.pid);
-    }
-    std::sort(w->members.begin(), w->members.end());
-    worker_of_stage[st] = w.get();
-    workers.push_back(std::move(w));
-  }
-
-  // Union-find over pipelines connected by virtual stage groups: their
-  // sources and sinks are automatically virtualized (merged) as well.
-  std::vector<PipelineId> parent(pipelines.size());
-  for (PipelineId i = 0; i < parent.size(); ++i) parent[i] = i;
-  std::function<PipelineId(PipelineId)> find = [&](PipelineId x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  auto unite = [&](PipelineId a, PipelineId b) { parent[find(a)] = find(b); };
-  for (auto& w : workers) {
-    if (w->virt && w->members.size() > 1) {
-      for (std::size_t i = 1; i < w->members.size(); ++i) {
-        unite(w->members[0], w->members[i]);
-      }
-    }
-  }
-
-  // Source and sink workers, one pair per union group.
-  std::unordered_map<PipelineId, Worker*> src_of_root;
-  std::unordered_map<PipelineId, Worker*> snk_of_root;
-  auto get_or_make = [&](std::unordered_map<PipelineId, Worker*>& table,
-                         PipelineId root, WType type) {
-    auto it = table.find(root);
-    if (it != table.end()) return it->second;
-    auto w = std::make_unique<Worker>();
-    w->type = type;
-    Worker* raw = w.get();
-    workers.push_back(std::move(w));
-    table[root] = raw;
-    return raw;
-  };
-  for (auto& up : pipelines) {
-    const PipelineId pid = up->id();
-    const PipelineId root = find(pid);
-    Worker* src = get_or_make(src_of_root, root, WType::kSource);
-    Worker* snk = get_or_make(snk_of_root, root, WType::kSink);
-    src->add_member(pid);
-    snk->add_member(pid);
-    src->src[pid] = Worker::SrcState{up->config().rounds, 0, false};
-    source_of[pid] = src;
-  }
-
-  // Queues.  Every worker except a custom stage has exactly one inbound
-  // queue that all predecessors push into; a custom stage gets one queue
-  // per distinct predecessor worker (its accept(pipeline) demultiplexes
-  // tokens arriving on the right queue by pipeline id).
-  auto combined_capacity = [&](const std::vector<PipelineId>& pids) {
-    std::size_t cap = 0;
-    for (PipelineId pid : pids) {
-      const std::size_t c = pipelines[pid]->config().queue_capacity;
-      if (c == 0) return std::size_t{0};
-      cap = std::max(cap, c);
-    }
-    return cap;
-  };
-  auto in_queue = [&](Worker* w) {
-    // A source's inbound (recycle) queue must be unbounded: if the sink
-    // could block pushing recycled buffers while the source is blocked
-    // emitting into a bounded queue, the cycle would deadlock.  The
-    // buffer pool bounds its occupancy anyway.
-    if (!w->in) {
-      w->in = new_queue(w->type == WType::kSource
-                            ? 0
-                            : combined_capacity(w->members));
-    }
-    return w->in;
-  };
-  std::unordered_map<Worker*, std::unordered_map<Worker*, BufferQueue*>>
-      custom_in;  // custom worker -> (predecessor worker -> queue)
-  auto connect = [&](Worker* from, Worker* to, PipelineId pid) {
-    BufferQueue* q = nullptr;
-    if (to->type == WType::kCustom) {
-      auto& table = custom_in[to];
-      auto it = table.find(from);
-      if (it == table.end()) {
-        q = new_queue(pipelines[pid]->config().queue_capacity);
-        table[from] = q;
-      } else {
-        q = it->second;
-      }
-      to->in_by_pid[pid] = q;
-    } else {
-      q = in_queue(to);
-    }
-    from->out[pid] = q;
-  };
-  for (auto& up : pipelines) {
-    const PipelineId pid = up->id();
-    std::vector<Worker*> chain;
-    chain.push_back(source_of[pid]);
-    for (const auto& e : PipelineGraph::entries(*up)) {
-      chain.push_back(worker_of_stage.at(e.stage));
-    }
-    chain.push_back(snk_of_root.at(find(pid)));
-    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-      connect(chain[i], chain[i + 1], pid);
-    }
-    // Recycle edge: sink back to source.
-    chain.back()->out[pid] = in_queue(source_of[pid]);
-  }
-  // Sources also need inbound queues even when no stage ever recycles —
-  // close tokens arrive there.
-  for (auto& [pid, src] : source_of) in_queue(src);
-
-  // Buffer pools.
-  for (auto& up : pipelines) {
-    const PipelineConfig& cfg = up->config();
-    if (cfg.num_buffers == 0 || cfg.buffer_bytes == 0) {
-      throw std::logic_error("fg::PipelineGraph: pipeline '" + cfg.name +
-                             "' needs at least one buffer of nonzero size");
-    }
-    auto& pool = pools[up->id()];
-    pool.reserve(cfg.num_buffers);
-    for (std::size_t i = 0; i < cfg.num_buffers; ++i) {
-      pool.push_back(
-          std::make_unique<Buffer>(cfg.buffer_bytes, up->id(), cfg.aux_buffers));
-    }
-  }
-
-  // Stats labels.
-  for (auto& w : workers) {
-    switch (w->type) {
-      case WType::kSource: w->stats.stage = "source"; break;
-      case WType::kSink: w->stats.stage = "sink"; break;
-      default: w->stats.stage = w->stage->name(); break;
-    }
-    w->stats.pipelines = pipeline_names(w->members);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Worker loops
-// ---------------------------------------------------------------------------
-
-void PipelineGraph::Impl::source_loop(Worker& w) {
-  std::size_t active = w.members.size();
-
-  auto emit = [&](PipelineId pid, Buffer* b) {
-    auto& st = w.src[pid];
-    b->set_round(st.emitted++);
-    b->set_size(0);
-    b->set_tag(0);
-    const auto t0 = util::Clock::now();
-    w.out[pid]->push(Token::of_buffer(b));
-    w.stats.convey_blocked += now_minus(t0);
-    ++w.stats.buffers;
-  };
-  auto finish_if_done = [&](PipelineId pid) {
-    auto& st = w.src[pid];
-    if (!st.caboose_sent && st.target != 0 && st.emitted >= st.target) {
-      w.out[pid]->push(Token::caboose(pid));
-      st.caboose_sent = true;
-      --active;
-    }
-  };
-
-  // Initial emission: inject each pipeline's pool (bounded by its round
-  // target, if any).
-  for (PipelineId pid : w.members) {
-    auto& st = w.src[pid];
-    for (auto& ub : pools.at(pid)) {
-      if (st.target != 0 && st.emitted >= st.target) break;
-      emit(pid, ub.get());
-    }
-    finish_if_done(pid);
-  }
-
-  while (active > 0) {
-    const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
-    w.stats.accept_blocked += now_minus(t0);
-    switch (t.kind) {
-      case TokenKind::kAbort:
-        return;
-      case TokenKind::kClose: {
-        auto& st = w.src[t.pipeline];
-        if (!st.caboose_sent) {
-          w.out[t.pipeline]->push(Token::caboose(t.pipeline));
-          st.caboose_sent = true;
-          --active;
-        }
-        break;
-      }
-      case TokenKind::kBuffer: {
-        auto& st = w.src[t.pipeline];
-        if (st.caboose_sent) break;  // pipeline done; buffer rests in pool
-        emit(t.pipeline, t.buffer);
-        finish_if_done(t.pipeline);
-        break;
-      }
-      case TokenKind::kCaboose:
-        break;  // not expected on a recycle queue; ignore
-    }
-  }
-}
-
-void PipelineGraph::Impl::sink_loop(Worker& w) {
-  std::size_t active = w.members.size();
-  for (;;) {
-    const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
-    w.stats.accept_blocked += now_minus(t0);
-    switch (t.kind) {
-      case TokenKind::kAbort:
-        return;
-      case TokenKind::kCaboose:
-        if (--active == 0) return;
-        break;
-      case TokenKind::kBuffer:
-        ++w.stats.buffers;
-        w.out[t.pipeline]->push(t);  // recycle to the source
-        break;
-      case TokenKind::kClose:
-        break;  // not expected
-    }
-  }
-}
-
-void PipelineGraph::Impl::map_loop(Worker& w) {
-  auto* stage = static_cast<MapStage*>(w.stage);
-  std::size_t active = w.members.size();
-  std::unordered_map<PipelineId, bool> closed;
-  for (PipelineId pid : w.members) closed[pid] = false;
-
-  for (;;) {
-    const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
-    w.stats.accept_blocked += now_minus(t0);
-    switch (t.kind) {
-      case TokenKind::kAbort:
-        return;
-      case TokenKind::kCaboose: {
-        const auto tw = util::Clock::now();
-        stage->flush(t.pipeline);
-        w.stats.working += now_minus(tw);
-        w.out[t.pipeline]->push(t);
-        if (--active == 0) return;
-        break;
-      }
-      case TokenKind::kBuffer: {
-        const PipelineId pid = t.pipeline;
-        if (closed[pid]) {
-          // The stage already declared this pipeline finished; hand
-          // leftover upstream buffers straight back to the source.
-          source_in(pid)->push(t);
-          break;
-        }
-        const auto tw = util::Clock::now();
-        const StageAction action = stage->apply(*t.buffer);
-        w.stats.working += now_minus(tw);
-        ++w.stats.buffers;
-        const bool conveys = action == StageAction::kConvey ||
-                             action == StageAction::kConveyAndClose;
-        const bool closes = action == StageAction::kConveyAndClose ||
-                            action == StageAction::kRecycleAndClose;
-        if (conveys) {
-          const auto tc = util::Clock::now();
-          w.out[pid]->push(t);
-          w.stats.convey_blocked += now_minus(tc);
-        } else {
-          source_in(pid)->push(t);
-        }
-        if (closes) {
-          source_in(pid)->push(Token::close(pid));
-          closed[pid] = true;
-        }
-        break;
-      }
-      case TokenKind::kClose:
-        break;  // not expected between stages
-    }
-  }
-}
-
-void PipelineGraph::Impl::map_loop_replicated(Worker& w) {
-  auto* stage = static_cast<MapStage*>(w.stage);
-  auto& shared = w.repl;
-  {
-    std::lock_guard<std::mutex> lock(shared.mutex);
-    if (!shared.initialized) {
-      shared.active = w.members.size();
-      for (PipelineId pid : w.members) {
-        shared.in_flight[pid] = 0;
-        shared.closed[pid] = false;
-      }
-      shared.initialized = true;
-    }
-  }
-
-  StageStats local;  // merged into w.stats at exit
-  const auto merge_stats = [&] {
-    std::lock_guard<std::mutex> lock(shared.mutex);
-    w.stats.buffers += local.buffers;
-    w.stats.working += local.working;
-    w.stats.accept_blocked += local.accept_blocked;
-    w.stats.convey_blocked += local.convey_blocked;
-  };
-
-  for (;;) {
-    const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
-    local.accept_blocked += now_minus(t0);
-    switch (t.kind) {
-      case TokenKind::kAbort:
-        merge_stats();
-        return;
-      case TokenKind::kClose:
-        // Poison pill from the replica that handled the last caboose.
-        merge_stats();
-        return;
-      case TokenKind::kCaboose: {
-        const PipelineId pid = t.pipeline;
-        // The caboose may overtake buffers still being processed by
-        // other replicas; it must leave this stage last.
-        {
-          std::unique_lock<std::mutex> lock(shared.mutex);
-          shared.cv.wait(lock, [&] { return shared.in_flight[pid] == 0; });
-        }
-        const auto tw = util::Clock::now();
-        stage->flush(pid);
-        local.working += now_minus(tw);
-        w.out[pid]->push(t);
-        bool last;
-        {
-          std::lock_guard<std::mutex> lock(shared.mutex);
-          last = --shared.active == 0;
-        }
-        if (last) {
-          for (std::size_t i = 1; i < w.replicas; ++i) {
-            w.in->push(Token::close(kNoPipeline));
-          }
-          merge_stats();
-          return;
-        }
-        break;
-      }
-      case TokenKind::kBuffer: {
-        const PipelineId pid = t.pipeline;
-        {
-          std::lock_guard<std::mutex> lock(shared.mutex);
-          if (shared.closed[pid]) {
-            source_in(pid)->push(t);
-            break;
-          }
-          ++shared.in_flight[pid];
-        }
-        const auto tw = util::Clock::now();
-        const StageAction action = stage->apply(*t.buffer);
-        local.working += now_minus(tw);
-        ++local.buffers;
-        const bool conveys = action == StageAction::kConvey ||
-                             action == StageAction::kConveyAndClose;
-        const bool closes = action == StageAction::kConveyAndClose ||
-                            action == StageAction::kRecycleAndClose;
-        if (conveys) {
-          const auto tc = util::Clock::now();
-          w.out[pid]->push(t);
-          local.convey_blocked += now_minus(tc);
-        } else {
-          source_in(pid)->push(t);
-        }
-        if (closes) {
-          bool first_close;
-          {
-            std::lock_guard<std::mutex> lock(shared.mutex);
-            first_close = !shared.closed[pid];
-            shared.closed[pid] = true;
-          }
-          if (first_close) source_in(pid)->push(Token::close(pid));
-        }
-        {
-          std::lock_guard<std::mutex> lock(shared.mutex);
-          --shared.in_flight[pid];
-        }
-        shared.cv.notify_all();
-        break;
-      }
-    }
-  }
-}
-
-class PipelineGraph::Impl::Context final : public StageContext {
- public:
-  Context(PipelineGraph::Impl& impl, PipelineGraph::Impl::Worker& w)
-      : impl_(impl), w_(w) {}
-
-  Buffer* accept(const Pipeline& p) override { return accept_pid(p.id()); }
-
-  Buffer* accept() override {
-    if (w_.members.size() != 1) {
-      throw std::logic_error(
-          "fg::StageContext::accept(): stage '" + w_.stage->name() +
-          "' belongs to several pipelines; name the pipeline to accept from");
-    }
-    return accept_pid(w_.members.front());
-  }
-
-  void convey(Buffer* b) override {
-    auto it = w_.out.find(b->pipeline());
-    if (it == w_.out.end()) {
-      throw std::logic_error(
-          "fg::StageContext::convey: buffer belongs to a pipeline that stage "
-          "'" + w_.stage->name() + "' is not a member of (buffers cannot "
-          "jump between pipelines)");
-    }
-    const auto t0 = util::Clock::now();
-    it->second->push(Token::of_buffer(b));
-    w_.stats.convey_blocked += now_minus(t0);
-  }
-
-  void recycle(Buffer* b) override {
-    impl_.source_in(b->pipeline())->push(Token::of_buffer(b));
-  }
-
-  void close(const Pipeline& p) override {
-    impl_.source_in(p.id())->push(Token::close(p.id()));
-  }
-
-  bool exhausted(const Pipeline& p) const override {
-    return exhausted_.count(p.id()) != 0 && stash_count(p.id()) == 0;
-  }
-
- private:
-  std::size_t stash_count(PipelineId pid) const {
-    auto it = stash_.find(pid);
-    return it == stash_.end() ? 0 : it->second.size();
-  }
-
-  Buffer* accept_pid(PipelineId pid) {
-    auto sit = stash_.find(pid);
-    if (sit != stash_.end() && !sit->second.empty()) {
-      Buffer* b = sit->second.front();
-      sit->second.pop_front();
-      return b;
-    }
-    if (exhausted_.count(pid)) return nullptr;
-    auto qit = w_.in_by_pid.find(pid);
-    if (qit == w_.in_by_pid.end()) {
-      throw std::logic_error(
-          "fg::StageContext::accept: stage '" + w_.stage->name() +
-          "' is not a member of that pipeline");
-    }
-    BufferQueue* q = qit->second;
-    for (;;) {
-      const auto t0 = util::Clock::now();
-      Token t = q->pop();
-      w_.stats.accept_blocked += now_minus(t0);
-      switch (t.kind) {
-        case TokenKind::kAbort:
-          throw AbortSignal{};
-        case TokenKind::kCaboose:
-          exhausted_.insert(t.pipeline);
-          if (t.pipeline == pid) return nullptr;
-          break;
-        case TokenKind::kBuffer:
-          if (t.pipeline == pid) return t.buffer;
-          ++w_.stats.buffers;  // counted when stashed, not when re-served
-          stash_[t.pipeline].push_back(t.buffer);
-          break;
-        case TokenKind::kClose:
-          break;  // not expected
-      }
-    }
-  }
-
-  PipelineGraph::Impl& impl_;
-  PipelineGraph::Impl::Worker& w_;
-  std::unordered_map<PipelineId, std::deque<Buffer*>> stash_;
-  std::unordered_set<PipelineId> exhausted_;
-};
-
-void PipelineGraph::Impl::custom_loop(Worker& w) {
-  Context ctx(*this, w);
-  const auto t0 = util::Clock::now();
-  try {
-    w.stage->run(ctx);
-  } catch (const AbortSignal&) {
-    return;
-  }
-  // Working time = wall time minus time spent blocked in accept/convey.
-  w.stats.working +=
-      now_minus(t0) - w.stats.accept_blocked - w.stats.convey_blocked;
-  // Flush: every outbound port gets this stage's caboose.
-  for (PipelineId pid : w.members) {
-    auto it = w.out.find(pid);
-    if (it != w.out.end()) it->second->push(Token::caboose(pid));
-  }
-}
-
-void PipelineGraph::Impl::worker_entry(Worker* w) {
-  try {
-    switch (w->type) {
-      case WType::kSource: source_loop(*w); break;
-      case WType::kSink: sink_loop(*w); break;
-      case WType::kMap:
-        if (w->replicas > 1) {
-          map_loop_replicated(*w);
-        } else {
-          map_loop(*w);
-        }
-        break;
-      case WType::kCustom: custom_loop(*w); break;
-    }
-  } catch (const AbortSignal&) {
-    // unwinding after another worker's failure: nothing to record
-  } catch (...) {
-    record_error(std::current_exception());
-    abort_all();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Public interface
-// ---------------------------------------------------------------------------
 
 PipelineGraph::PipelineGraph() : impl_(std::make_unique<Impl>()) {}
 PipelineGraph::~PipelineGraph() = default;
 
 Pipeline& PipelineGraph::add_pipeline(PipelineConfig cfg) {
-  if (impl_->built) {
+  if (impl_->plan) {
     throw std::logic_error(
         "fg::PipelineGraph: cannot add pipelines after the topology is built");
   }
@@ -772,41 +36,49 @@ Pipeline& PipelineGraph::add_pipeline(PipelineConfig cfg) {
   return *impl_->pipelines.back();
 }
 
+const ExecutionPlan& PipelineGraph::plan() const {
+  return impl_->ensure_plan();
+}
+
 std::size_t PipelineGraph::planned_threads() const {
-  impl_->build();
-  std::size_t n = 0;
-  for (const auto& w : impl_->workers) n += w->replicas;
-  return n;
+  return impl_->ensure_plan().thread_count();
+}
+
+void PipelineGraph::set_event_sink(EventSink* sink) {
+  impl_->sink = sink;
 }
 
 void PipelineGraph::run() {
-  if (impl_->ran) {
-    throw std::logic_error("fg::PipelineGraph::run: graphs are single-shot");
-  }
-  impl_->ran = true;
-  impl_->build();
-  for (auto& w : impl_->workers) {
-    Impl* impl = impl_.get();
-    Impl::Worker* raw = w.get();
-    w->thread = std::thread([impl, raw] { impl->worker_entry(raw); });
-    for (std::size_t i = 1; i < w->replicas; ++i) {
-      w->extra_threads.emplace_back([impl, raw] { impl->worker_entry(raw); });
-    }
-  }
-  for (auto& w : impl_->workers) {
-    if (w->thread.joinable()) w->thread.join();
-    for (auto& t : w->extra_threads) {
-      if (t.joinable()) t.join();
-    }
-  }
-  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+  const ExecutionPlan& plan = impl_->ensure_plan();
+  // Fresh queues, pools, and statistics every run; replacing the previous
+  // runtime is what resets stats between runs.
+  impl_->last = std::make_unique<GraphRuntime>(plan, impl_->sink);
+  impl_->last->run();  // on throw, `last` keeps the partial stats
+  ++impl_->runs_completed;
 }
 
 std::vector<StageStats> PipelineGraph::stats() const {
-  std::vector<StageStats> out;
-  out.reserve(impl_->workers.size());
-  for (const auto& w : impl_->workers) out.push_back(w->stats);
+  return impl_->last ? impl_->last->stats() : std::vector<StageStats>{};
+}
+
+RunStats PipelineGraph::run_stats() const {
+  RunStats out;
+  if (impl_->last) {
+    out.stages = impl_->last->stats();
+    out.queues = impl_->last->queue_stats();
+    out.wall_seconds = impl_->last->wall_seconds();
+  }
+  out.runs_completed = impl_->runs_completed;
   return out;
+}
+
+std::vector<BufferAudit> PipelineGraph::audit_buffers() const {
+  return impl_->last ? impl_->last->audit_buffers()
+                     : std::vector<BufferAudit>{};
+}
+
+std::size_t PipelineGraph::runs_completed() const {
+  return impl_->runs_completed;
 }
 
 }  // namespace fg

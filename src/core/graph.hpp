@@ -1,9 +1,19 @@
 // PipelineGraph assembles and executes a set of FG pipelines on one node.
 //
-// The graph owns pipelines, buffer pools, inter-stage queues, and worker
-// threads.  Stage objects are owned by the application and must outlive
-// run().  The graph detects the three pipeline relationships the paper
-// describes:
+// The graph is a thin facade over three layers:
+//
+//  * plan     (core/plan.hpp)    — ExecutionPlan freezes the pipelines,
+//                                  merges virtual groups, validates the
+//                                  wiring, and lays out the worker/queue
+//                                  topology as immutable data;
+//  * runtime  (core/runtime.hpp) — GraphRuntime materializes fresh queues
+//                                  and buffer pools from the plan, spawns
+//                                  and joins the worker threads, and
+//                                  handles abort/unwind;
+//  * events   (core/events.hpp)  — instrumentation hooks feeding
+//                                  StageStats and the JSON stats export.
+//
+// The graph detects the three pipeline relationships the paper describes:
 //
 //  * disjoint pipelines       — no shared stage objects; each runs its own
 //                               source, sink, pool, and stage threads;
@@ -20,12 +30,18 @@
 //                               create hundreds of threads.
 //
 // run() blocks until every pipeline has terminated (fixed round count
-// reached, or closed by a stage).  If any stage throws, the graph aborts
-// all queues so every worker unwinds, then rethrows the first exception.
+// reached, or closed by a stage).  If any stage throws, the runtime aborts
+// all queues so every worker unwinds, then run() rethrows the first
+// exception.  Graphs are *rerunnable*: each run() executes the cached
+// plan on a fresh runtime (new queues, new pools, stats reset), so a
+// server can replay the same heavy topology without rebuilding it.
 #pragma once
 
+#include "core/events.hpp"
 #include "core/pipeline.hpp"
+#include "core/plan.hpp"
 #include "core/queue.hpp"
+#include "core/runtime.hpp"
 #include "core/stage.hpp"
 #include "core/stage_stats.hpp"
 
@@ -46,27 +62,42 @@ class PipelineGraph {
   /// reference is stable for the graph's lifetime.
   Pipeline& add_pipeline(PipelineConfig cfg);
 
-  /// Build the worker/queue topology, execute all pipelines to
-  /// completion, and join.  Single-shot: a graph cannot be rerun.
+  /// Execute all pipelines to completion on a fresh runtime and join.
+  /// May be called repeatedly; each run starts from clean queues, pools,
+  /// and statistics.  Stage objects must be reusable for reruns (their
+  /// captured state is the application's business).
   void run();
 
+  /// The frozen topology; built on first access (after which stages and
+  /// pipelines can no longer be added).
+  const ExecutionPlan& plan() const;
+
   /// Number of worker threads run() will create (sources, sinks, stage
-  /// workers after virtual-group merging).  Valid before or after run();
-  /// the virtual-stage benches assert on this.
+  /// workers after virtual-group merging, replicas included).  Valid
+  /// before or after run(); the virtual-stage benches assert on this.
   std::size_t planned_threads() const;
 
-  /// Per-worker timing statistics; valid after run().
+  /// Install an observer receiving per-stage events during subsequent
+  /// runs; pass nullptr to detach.  The sink must be thread-safe and must
+  /// outlive every run() it observes.
+  void set_event_sink(EventSink* sink);
+
+  /// Per-worker timing statistics of the most recent run (partial if it
+  /// aborted); empty before the first run.
   std::vector<StageStats> stats() const;
 
- private:
-  // Private static accessors so the nested Impl (which has the access
-  // rights of a member of PipelineGraph) can reach Pipeline internals
-  // without Pipeline having to befriend the implementation type.
-  static const std::vector<Pipeline::Entry>& entries(const Pipeline& p) {
-    return p.entries_;
-  }
-  static void freeze(Pipeline& p) { p.frozen_ = true; }
+  /// Everything the most recent run reported: stage stats, per-queue
+  /// counters, wall time, and the completed-run count.
+  RunStats run_stats() const;
 
+  /// Per-pipeline buffer whereabouts after the most recent run; the
+  /// abort-path tests assert accounted() == pool for every pipeline.
+  std::vector<BufferAudit> audit_buffers() const;
+
+  /// Number of run() calls that completed without throwing.
+  std::size_t runs_completed() const;
+
+ private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

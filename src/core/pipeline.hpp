@@ -72,7 +72,8 @@ class Pipeline {
   };
 
  private:
-  friend class PipelineGraph;
+  friend class PipelineGraph;   // constructs pipelines
+  friend class ExecutionPlan;   // freezes them and reads entries_
 
   Pipeline(PipelineId id, PipelineConfig cfg) : id_(id), cfg_(std::move(cfg)) {}
 

@@ -46,6 +46,16 @@ struct Token {
   static Token abort() noexcept { return {TokenKind::kAbort, kNoPipeline, nullptr}; }
 };
 
+/// Counters one queue accumulates over a run; snapshot via
+/// BufferQueue::stats().  The instrumentation layer folds these into the
+/// per-run JSON blob.
+struct QueueStats {
+  std::size_t capacity{0};      ///< 0 = unbounded
+  std::uint64_t pushes{0};      ///< tokens accepted (post-abort pushes excluded)
+  std::uint64_t pops{0};        ///< tokens delivered
+  std::size_t peak{0};          ///< high-water occupancy
+};
+
 /// MPMC blocking token queue.  capacity == 0 means unbounded (the default:
 /// pipeline buffer pools already bound the number of circulating tokens);
 /// a nonzero capacity additionally throttles how far ahead a producer may
@@ -57,17 +67,22 @@ class BufferQueue {
   BufferQueue(const BufferQueue&) = delete;
   BufferQueue& operator=(const BufferQueue&) = delete;
 
-  /// Blocking push; drops the token if the queue has been aborted.
-  void push(Token t) {
+  /// Blocking push.  Returns false — with the token *dropped* — once the
+  /// queue has been aborted; a worker whose push fails must stop
+  /// circulating buffers and unwind (the run is being torn down), never
+  /// assume the token arrived.
+  bool push(Token t) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] {
       return aborted_ || capacity_ == 0 || q_.size() < capacity_;
     });
-    if (aborted_) return;
+    if (aborted_) return false;
     q_.push_back(t);
+    ++pushes_;
     if (q_.size() > peak_) peak_ = q_.size();
     lock.unlock();
     not_empty_.notify_one();
+    return true;
   }
 
   /// Blocking pop; returns an abort token once the queue is aborted.
@@ -77,6 +92,7 @@ class BufferQueue {
     if (aborted_) return Token::abort();
     Token t = q_.front();
     q_.pop_front();
+    ++pops_;
     lock.unlock();
     not_full_.notify_one();
     return t;
@@ -89,12 +105,38 @@ class BufferQueue {
       out = Token::abort();
       return true;
     }
+    // Observe occupancy here too, so peak() is consistent no matter how
+    // the queue is drained.
+    if (q_.size() > peak_) peak_ = q_.size();
     if (q_.empty()) return false;
     out = q_.front();
     q_.pop_front();
+    ++pops_;
     lock.unlock();
     not_full_.notify_one();
     return true;
+  }
+
+  /// Unconditionally enqueue `t`, ignoring capacity and abort state.
+  /// Never blocks.  The runtime uses this during teardown to park
+  /// buffers somewhere accountable after a regular push was refused.
+  void force_push(Token t) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      q_.push_back(t);
+      ++pushes_;
+      if (q_.size() > peak_) peak_ = q_.size();
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Visit every resident token (diagnostics; works even after abort,
+  /// which leaves residents in place).  `fn` runs under the queue lock —
+  /// keep it trivial.
+  template <typename Fn>
+  void for_each_resident(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Token& t : q_) fn(t);
   }
 
   /// Wake every waiter and make all subsequent operations no-ops that
@@ -108,6 +150,11 @@ class BufferQueue {
     not_full_.notify_all();
   }
 
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return q_.size();
@@ -119,6 +166,12 @@ class BufferQueue {
     return peak_;
   }
 
+  /// Snapshot of this queue's counters.
+  QueueStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return QueueStats{capacity_, pushes_, pops_, peak_};
+  }
+
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -128,6 +181,8 @@ class BufferQueue {
   std::deque<Token> q_;
   std::size_t capacity_;
   std::size_t peak_{0};
+  std::uint64_t pushes_{0};
+  std::uint64_t pops_{0};
   bool aborted_{false};
 };
 

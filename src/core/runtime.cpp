@@ -1,0 +1,216 @@
+// Runtime construction, run orchestration, and reporting.  The worker
+// loops live in runtime_loops.cpp; shared state in runtime_impl.hpp.
+#include "core/runtime_impl.hpp"
+
+#include <stdexcept>
+
+namespace fg {
+
+const char* to_string(StageEventKind k) noexcept {
+  switch (k) {
+    case StageEventKind::kBufferAccepted: return "accept";
+    case StageEventKind::kBufferConveyed: return "convey";
+    case StageEventKind::kBufferRecycled: return "recycle";
+    case StageEventKind::kCabooseForwarded: return "caboose";
+    case StageEventKind::kPipelineClosed: return "close";
+    case StageEventKind::kQueuePush: return "qpush";
+    case StageEventKind::kQueuePop: return "qpop";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Construction: materialize queues, pools, and workers from the plan
+// ---------------------------------------------------------------------------
+
+GraphRuntime::GraphRuntime(const ExecutionPlan& plan, EventSink* sink)
+    : plan_(&plan), sink_(sink) {
+  queues_.reserve(plan.queues().size());
+  for (std::uint32_t qi = 0; qi < plan.queues().size(); ++qi) {
+    queues_.push_back(
+        std::make_unique<BufferQueue>(plan.queues()[qi].capacity));
+    queue_index_[queues_.back().get()] = qi;
+  }
+
+  pools_.resize(plan.pools().size());
+  for (PipelineId pid = 0; pid < plan.pools().size(); ++pid) {
+    const PlannedPool& spec = plan.pools()[pid];
+    auto& pool = pools_[pid];
+    pool.reserve(spec.num_buffers);
+    for (std::size_t i = 0; i < spec.num_buffers; ++i) {
+      pool.push_back(std::make_unique<Buffer>(spec.buffer_bytes, pid,
+                                              spec.aux));
+    }
+  }
+
+  auto q = [&](QueueIndex i) {
+    return i == kNoQueue ? nullptr : queues_[i].get();
+  };
+  workers_.reserve(plan.workers().size());
+  for (std::uint32_t wi = 0; wi < plan.workers().size(); ++wi) {
+    const PlannedWorker& spec = plan.workers()[wi];
+    auto w = std::make_unique<RunWorker>();
+    w->index = wi;
+    w->spec = &spec;
+    w->in = q(spec.in);
+    for (const auto& [pid, qi] : spec.in_by_pid) w->in_by_pid[pid] = q(qi);
+    for (const auto& [pid, qi] : spec.out) w->out[pid] = q(qi);
+    if (spec.kind == WorkerKind::kSource) {
+      for (PipelineId pid : spec.members) {
+        w->src[pid] =
+            RunWorker::SrcState{plan.pools()[pid].rounds, 0, 0, 0, false};
+      }
+    }
+    w->stats.stage = spec.label;
+    w->stats.pipelines = spec.pipelines;
+    workers_.push_back(std::move(w));
+  }
+}
+
+GraphRuntime::~GraphRuntime() = default;
+
+void GraphRuntime::record_error(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(err_mutex_);
+  if (!first_error_) first_error_ = e;
+}
+
+void GraphRuntime::abort_all() {
+  for (auto& q : queues_) q->abort();
+}
+
+void GraphRuntime::emit_queue(StageEventKind kind, const BufferQueue* q,
+                              PipelineId pid) {
+  if (!sink_) return;
+  sink_->on_event(StageEvent{kind, queue_index_.at(q), pid, q->size()});
+}
+
+void GraphRuntime::worker_entry(RunWorker* w) {
+  try {
+    switch (w->spec->kind) {
+      case WorkerKind::kSource: source_loop(*w); break;
+      case WorkerKind::kSink: sink_loop(*w); break;
+      case WorkerKind::kMap:
+        if (w->spec->replicas > 1) {
+          map_loop_replicated(*w);
+        } else {
+          map_loop(*w);
+        }
+        break;
+      case WorkerKind::kCustom: custom_loop(*w); break;
+    }
+  } catch (const AbortSignal&) {
+    // unwinding after another worker's failure: nothing to record
+  } catch (...) {
+    record_error(std::current_exception());
+    abort_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run orchestration and reporting
+// ---------------------------------------------------------------------------
+
+void GraphRuntime::run() {
+  if (ran_) {
+    throw std::logic_error(
+        "fg::GraphRuntime: a runtime executes its plan exactly once "
+        "(PipelineGraph::run creates a fresh one per run)");
+  }
+  ran_ = true;
+  util::Stopwatch sw;
+  for (auto& w : workers_) {
+    RunWorker* raw = w.get();
+    w->thread = std::thread([this, raw] { worker_entry(raw); });
+    for (std::size_t i = 1; i < w->spec->replicas; ++i) {
+      w->extra_threads.emplace_back([this, raw] { worker_entry(raw); });
+    }
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+    for (auto& t : w->extra_threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+  wall_seconds_ = sw.elapsed_seconds();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::vector<StageStats> GraphRuntime::stats() const {
+  std::vector<StageStats> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) out.push_back(w->stats);
+  return out;
+}
+
+std::vector<QueueStats> GraphRuntime::queue_stats() const {
+  std::vector<QueueStats> out;
+  out.reserve(queues_.size());
+  for (const auto& q : queues_) out.push_back(q->stats());
+  return out;
+}
+
+std::vector<BufferAudit> GraphRuntime::audit_buffers() const {
+  std::vector<BufferAudit> out(pools_.size());
+  for (PipelineId pid = 0; pid < pools_.size(); ++pid) {
+    out[pid].pool = pools_[pid].size();
+  }
+  for (const auto& w : workers_) {
+    for (const auto& [pid, st] : w->src) {
+      out[pid].never_emitted +=
+          static_cast<std::size_t>(pools_[pid].size() - st.distinct);
+      out[pid].parked += static_cast<std::size_t>(st.parked);
+    }
+  }
+  for (const auto& q : queues_) {
+    q->for_each_resident([&](const Token& t) {
+      if (t.kind == TokenKind::kBuffer && t.pipeline < out.size()) {
+        out[t.pipeline].in_queues += 1;
+      }
+    });
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+
+void write_stage_stats_json(util::JsonWriter& w,
+                            const std::vector<StageStats>& stages) {
+  w.begin_array();
+  for (const StageStats& s : stages) {
+    w.begin_object();
+    w.kv("stage", s.stage);
+    w.kv("pipelines", s.pipelines);
+    w.kv("buffers", s.buffers);
+    w.kv("working_s", s.working_seconds());
+    w.kv("accept_blocked_s", s.accept_seconds());
+    w.kv("convey_blocked_s", s.convey_seconds());
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void RunStats::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("runs_completed", runs_completed);
+  w.key("stages");
+  write_stage_stats_json(w, stages);
+  w.key("queues");
+  w.begin_array();
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const QueueStats& q = queues[i];
+    w.begin_object();
+    w.kv("index", i);
+    w.kv("capacity", q.capacity);
+    w.kv("pushes", q.pushes);
+    w.kv("pops", q.pops);
+    w.kv("peak", q.peak);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace fg

@@ -1,0 +1,114 @@
+// The runtime layer: executes one ExecutionPlan.
+//
+// A GraphRuntime is single-use: it instantiates *fresh* queues and buffer
+// pools from the plan, spawns one thread per planned worker (plus
+// replicas), runs the source/sink/map/custom loops to completion, and
+// joins.  PipelineGraph::run() creates a new runtime per call — that is
+// what makes graphs rerunnable: the plan is cached and immutable, all
+// mutable state lives here.
+//
+// Error handling: if any stage throws, the runtime aborts every queue so
+// all workers unwind promptly, returns in-flight buffers to their source
+// queues (best effort — an aborted queue drops the push, but the pool
+// still owns every buffer), and rethrows the first exception from run().
+//
+// Instrumentation: the loops feed StageStats unconditionally and forward
+// StageEvents to an optional EventSink (see core/events.hpp).
+#pragma once
+
+#include "core/events.hpp"
+#include "core/plan.hpp"
+#include "core/queue.hpp"
+#include "core/stage_stats.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fg {
+
+/// Where one pipeline's buffers are after a run: `pool` were allocated,
+/// `in_queues` rest in some queue (the source's recycle queue, normally),
+/// `never_emitted` never left the pool.  accounted() == pool means every
+/// buffer is safely at rest — the abort-path tests assert this.
+struct BufferAudit {
+  std::size_t pool{0};
+  std::size_t in_queues{0};
+  std::size_t never_emitted{0};
+  std::size_t parked{0};  ///< retired by the source after its caboose
+  std::size_t accounted() const noexcept {
+    return in_queues + never_emitted + parked;
+  }
+};
+
+class GraphRuntime {
+ public:
+  /// Materialize queues and pools for `plan`.  The plan must outlive the
+  /// runtime; `sink` may be null.
+  GraphRuntime(const ExecutionPlan& plan, EventSink* sink);
+  ~GraphRuntime();
+
+  GraphRuntime(const GraphRuntime&) = delete;
+  GraphRuntime& operator=(const GraphRuntime&) = delete;
+
+  /// Spawn workers, execute to completion, join, rethrow the first stage
+  /// exception.  Single-use.
+  void run();
+
+  /// Per-worker timing statistics (labelled from the plan).
+  std::vector<StageStats> stats() const;
+
+  /// Per-queue counters, indexed like the plan's queue table.
+  std::vector<QueueStats> queue_stats() const;
+
+  /// Per-pipeline buffer whereabouts; meaningful after run() returns or
+  /// throws.
+  std::vector<BufferAudit> audit_buffers() const;
+
+  double wall_seconds() const noexcept { return wall_seconds_; }
+
+ private:
+  struct RunWorker;
+  class Context;
+
+  void worker_entry(RunWorker* w);
+  void source_loop(RunWorker& w);
+  void sink_loop(RunWorker& w);
+  void map_loop(RunWorker& w);
+  void map_loop_replicated(RunWorker& w);
+  void custom_loop(RunWorker& w);
+
+  BufferQueue* source_in(PipelineId pid) const {
+    return queues_[plan_->source_in(pid)].get();
+  }
+  void record_error(std::exception_ptr e);
+  void abort_all();
+  void park_token(RunWorker& w, Token t);
+
+  void emit(StageEventKind kind, std::uint32_t worker, PipelineId pid,
+            std::size_t depth = 0) {
+    if (sink_) sink_->on_event(StageEvent{kind, worker, pid, depth});
+  }
+  /// Occupancy sample after a queue operation; only taken when a sink is
+  /// installed (costs one extra lock).
+  void emit_queue(StageEventKind kind, const BufferQueue* q, PipelineId pid);
+
+  const ExecutionPlan* plan_;
+  EventSink* sink_;
+  std::vector<std::unique_ptr<BufferQueue>> queues_;
+  std::vector<std::vector<std::unique_ptr<Buffer>>> pools_;  // by pipeline
+  std::vector<std::unique_ptr<RunWorker>> workers_;
+  std::unordered_map<const BufferQueue*, std::uint32_t> queue_index_;
+
+  std::mutex err_mutex_;
+  std::exception_ptr first_error_;
+  bool ran_{false};
+  double wall_seconds_{0.0};
+};
+
+}  // namespace fg

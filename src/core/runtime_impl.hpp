@@ -1,0 +1,107 @@
+// Internal header shared by the runtime layer's translation units
+// (runtime.cpp: construction, orchestration, reporting; runtime_loops.cpp:
+// the worker loops).  Not installed, not part of the public API — include
+// core/runtime.hpp instead.
+#pragma once
+
+#include "core/runtime.hpp"
+#include "core/stage.hpp"
+#include "util/timer.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fg {
+
+/// Thrown inside a custom stage's context when the graph aborts; caught
+/// by the worker entry so error unwinding does not look like a stage
+/// failure.
+struct AbortSignal {};
+
+inline util::Duration now_minus(util::TimePoint t0) {
+  return util::Clock::now() - t0;
+}
+
+/// Per-run, per-worker mutable state: live queue pointers resolved from
+/// the plan's indices, the worker's stats, its thread(s), and the
+/// source/replica bookkeeping.
+struct GraphRuntime::RunWorker {
+  std::uint32_t index{0};
+  const PlannedWorker* spec{nullptr};
+
+  BufferQueue* in{nullptr};  // all kinds except custom
+  std::unordered_map<PipelineId, BufferQueue*> in_by_pid;  // custom only
+  std::unordered_map<PipelineId, BufferQueue*> out;  // successor per pid
+
+  StageStats stats;
+  std::thread thread;
+  std::vector<std::thread> extra_threads;
+
+  struct SrcState {
+    std::uint64_t target{0};  // 0 = until closed
+    std::uint64_t emitted{0};
+    std::uint64_t distinct{0};  // buffers that ever left the pool
+    std::uint64_t parked{0};    // late recycles retired after the caboose
+    bool caboose_sent{false};
+  };
+  std::unordered_map<PipelineId, SrcState> src;
+
+  // Replicated map stages: `replicas` threads share this worker's queue
+  // and this state.
+  struct ReplShared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<PipelineId, int> in_flight;
+    std::unordered_map<PipelineId, bool> closed;
+    std::size_t active{0};
+    bool initialized{false};
+  } repl;
+};
+
+/// The StageContext handed to custom stages.  Tracks every buffer the
+/// stage currently references (accepted-but-not-released, or stashed for
+/// a pipeline it has not drained) so unwinding can return them all.
+class GraphRuntime::Context final : public StageContext {
+ public:
+  Context(GraphRuntime& rt, RunWorker& w) : rt_(rt), w_(w) {}
+
+  Buffer* accept(const Pipeline& p) override { return accept_pid(p.id()); }
+
+  Buffer* accept() override {
+    if (w_.spec->members.size() != 1) {
+      throw std::logic_error(
+          "fg::StageContext::accept(): stage '" + w_.spec->stage->name() +
+          "' belongs to several pipelines; name the pipeline to accept from");
+    }
+    return accept_pid(w_.spec->members.front());
+  }
+
+  void convey(Buffer* b) override;
+  void recycle(Buffer* b) override;
+  void close(const Pipeline& p) override;
+
+  bool exhausted(const Pipeline& p) const override {
+    return exhausted_.count(p.id()) != 0 && stash_count(p.id()) == 0;
+  }
+
+  /// Return every buffer this context still references to its source, so
+  /// an unwind strands nothing.
+  void park_outstanding();
+
+ private:
+  std::size_t stash_count(PipelineId pid) const {
+    auto it = stash_.find(pid);
+    return it == stash_.end() ? 0 : it->second.size();
+  }
+
+  Buffer* accept_pid(PipelineId pid);
+
+  GraphRuntime& rt_;
+  RunWorker& w_;
+  std::unordered_map<PipelineId, std::deque<Buffer*>> stash_;
+  std::unordered_set<PipelineId> exhausted_;
+  std::unordered_set<Buffer*> held_;
+};
+
+}  // namespace fg

@@ -1,0 +1,442 @@
+// The worker loops: one function per WorkerKind, executed on the
+// runtime's threads.  Construction, orchestration, and reporting live in
+// runtime.cpp; the shared per-worker state in runtime_impl.hpp.
+#include "core/runtime_impl.hpp"
+
+#include <stdexcept>
+
+namespace fg {
+
+// Recycle a buffer token to its source.  Falls back to force_push during
+// teardown (an aborted queue refuses regular pushes) so every buffer
+// stays accountable — nothing rests "nowhere" after an abort.
+void GraphRuntime::park_token(RunWorker& w, Token t) {
+  BufferQueue* q = source_in(t.pipeline);
+  if (!q->push(t)) q->force_push(t);
+  emit(StageEventKind::kBufferRecycled, w.index, t.pipeline);
+  emit_queue(StageEventKind::kQueuePush, q, t.pipeline);
+}
+
+void GraphRuntime::source_loop(RunWorker& w) {
+  std::size_t active = w.spec->members.size();
+
+  // Emits return false once the run is being torn down.
+  auto emit_buffer = [&](PipelineId pid, Buffer* b) {
+    auto& st = w.src[pid];
+    b->set_round(st.emitted++);
+    b->set_size(0);
+    b->set_tag(0);
+    BufferQueue* q = w.out.at(pid);
+    const auto t0 = util::Clock::now();
+    const bool ok = q->push(Token::of_buffer(b));
+    w.stats.convey_blocked += now_minus(t0);
+    if (!ok) {
+      w.src[pid].parked += 1;  // token dropped by the aborted queue
+      return false;
+    }
+    ++w.stats.buffers;
+    emit(StageEventKind::kBufferConveyed, w.index, pid);
+    emit_queue(StageEventKind::kQueuePush, q, pid);
+    return true;
+  };
+  auto send_caboose = [&](PipelineId pid) {
+    auto& st = w.src[pid];
+    st.caboose_sent = true;
+    --active;
+    w.out.at(pid)->push(Token::caboose(pid));
+    emit(StageEventKind::kCabooseForwarded, w.index, pid);
+  };
+  auto finish_if_done = [&](PipelineId pid) {
+    auto& st = w.src[pid];
+    if (!st.caboose_sent && st.target != 0 && st.emitted >= st.target) {
+      send_caboose(pid);
+    }
+  };
+
+  // Initial emission: inject each pipeline's pool (bounded by its round
+  // target, if any).
+  for (PipelineId pid : w.spec->members) {
+    auto& st = w.src[pid];
+    for (auto& ub : pools_[pid]) {
+      if (st.target != 0 && st.emitted >= st.target) break;
+      ++st.distinct;
+      if (!emit_buffer(pid, ub.get())) return;
+    }
+    finish_if_done(pid);
+  }
+
+  while (active > 0) {
+    const auto t0 = util::Clock::now();
+    Token t = w.in->pop();
+    w.stats.accept_blocked += now_minus(t0);
+    switch (t.kind) {
+      case TokenKind::kAbort:
+        return;
+      case TokenKind::kClose: {
+        auto& st = w.src[t.pipeline];
+        if (!st.caboose_sent) {
+          send_caboose(t.pipeline);
+          emit(StageEventKind::kPipelineClosed, w.index, t.pipeline);
+        }
+        break;
+      }
+      case TokenKind::kBuffer: {
+        auto& st = w.src[t.pipeline];
+        if (st.caboose_sent) {
+          // Pipeline done; the buffer retires to the pool.
+          st.parked += 1;
+          break;
+        }
+        if (!emit_buffer(t.pipeline, t.buffer)) return;
+        finish_if_done(t.pipeline);
+        break;
+      }
+      case TokenKind::kCaboose:
+        break;  // not expected on a recycle queue; ignore
+    }
+  }
+}
+
+void GraphRuntime::sink_loop(RunWorker& w) {
+  std::size_t active = w.spec->members.size();
+  for (;;) {
+    const auto t0 = util::Clock::now();
+    Token t = w.in->pop();
+    w.stats.accept_blocked += now_minus(t0);
+    switch (t.kind) {
+      case TokenKind::kAbort:
+        return;
+      case TokenKind::kCaboose:
+        if (--active == 0) return;
+        break;
+      case TokenKind::kBuffer:
+        ++w.stats.buffers;
+        park_token(w, t);  // recycle to the source
+        break;
+      case TokenKind::kClose:
+        break;  // not expected
+    }
+  }
+}
+
+void GraphRuntime::map_loop(RunWorker& w) {
+  auto* stage = static_cast<MapStage*>(w.spec->stage);
+  std::size_t active = w.spec->members.size();
+  std::unordered_map<PipelineId, bool> closed;
+  for (PipelineId pid : w.spec->members) closed[pid] = false;
+
+  for (;;) {
+    const auto t0 = util::Clock::now();
+    Token t = w.in->pop();
+    w.stats.accept_blocked += now_minus(t0);
+    switch (t.kind) {
+      case TokenKind::kAbort:
+        return;
+      case TokenKind::kCaboose: {
+        const auto tw = util::Clock::now();
+        stage->flush(t.pipeline);
+        w.stats.working += now_minus(tw);
+        w.out.at(t.pipeline)->push(t);
+        emit(StageEventKind::kCabooseForwarded, w.index, t.pipeline);
+        if (--active == 0) return;
+        break;
+      }
+      case TokenKind::kBuffer: {
+        const PipelineId pid = t.pipeline;
+        if (closed[pid]) {
+          // The stage already declared this pipeline finished; hand
+          // leftover upstream buffers straight back to the source.
+          park_token(w, t);
+          break;
+        }
+        emit(StageEventKind::kBufferAccepted, w.index, pid);
+        const auto tw = util::Clock::now();
+        StageAction action;
+        try {
+          action = stage->apply(*t.buffer);
+        } catch (...) {
+          // Return the in-flight buffer before unwinding so nothing is
+          // stranded outside a queue.
+          park_token(w, t);
+          throw;
+        }
+        w.stats.working += now_minus(tw);
+        ++w.stats.buffers;
+        const bool conveys = action == StageAction::kConvey ||
+                             action == StageAction::kConveyAndClose;
+        const bool closes = action == StageAction::kConveyAndClose ||
+                            action == StageAction::kRecycleAndClose;
+        if (conveys) {
+          BufferQueue* q = w.out.at(pid);
+          const auto tc = util::Clock::now();
+          const bool ok = q->push(t);
+          w.stats.convey_blocked += now_minus(tc);
+          if (!ok) {
+            park_token(w, t);  // teardown: keep the buffer accountable
+          } else {
+            emit(StageEventKind::kBufferConveyed, w.index, pid);
+            emit_queue(StageEventKind::kQueuePush, q, pid);
+          }
+        } else {
+          park_token(w, t);
+        }
+        if (closes) {
+          source_in(pid)->push(Token::close(pid));
+          closed[pid] = true;
+          emit(StageEventKind::kPipelineClosed, w.index, pid);
+        }
+        break;
+      }
+      case TokenKind::kClose:
+        break;  // not expected between stages
+    }
+  }
+}
+
+void GraphRuntime::map_loop_replicated(RunWorker& w) {
+  auto* stage = static_cast<MapStage*>(w.spec->stage);
+  auto& shared = w.repl;
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    if (!shared.initialized) {
+      shared.active = w.spec->members.size();
+      for (PipelineId pid : w.spec->members) {
+        shared.in_flight[pid] = 0;
+        shared.closed[pid] = false;
+      }
+      shared.initialized = true;
+    }
+  }
+
+  StageStats local;  // merged into w.stats at exit
+  const auto merge_stats = [&] {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    w.stats.buffers += local.buffers;
+    w.stats.working += local.working;
+    w.stats.accept_blocked += local.accept_blocked;
+    w.stats.convey_blocked += local.convey_blocked;
+  };
+
+  for (;;) {
+    const auto t0 = util::Clock::now();
+    Token t = w.in->pop();
+    local.accept_blocked += now_minus(t0);
+    switch (t.kind) {
+      case TokenKind::kAbort:
+        merge_stats();
+        return;
+      case TokenKind::kClose:
+        // Poison pill from the replica that handled the last caboose.
+        merge_stats();
+        return;
+      case TokenKind::kCaboose: {
+        const PipelineId pid = t.pipeline;
+        // The caboose may overtake buffers still being processed by
+        // other replicas; it must leave this stage last.
+        {
+          std::unique_lock<std::mutex> lock(shared.mutex);
+          shared.cv.wait(lock, [&] { return shared.in_flight[pid] == 0; });
+        }
+        const auto tw = util::Clock::now();
+        stage->flush(pid);
+        local.working += now_minus(tw);
+        w.out.at(pid)->push(t);
+        emit(StageEventKind::kCabooseForwarded, w.index, pid);
+        bool last;
+        {
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          last = --shared.active == 0;
+        }
+        if (last) {
+          for (std::size_t i = 1; i < w.spec->replicas; ++i) {
+            w.in->push(Token::close(kNoPipeline));
+          }
+          merge_stats();
+          return;
+        }
+        break;
+      }
+      case TokenKind::kBuffer: {
+        const PipelineId pid = t.pipeline;
+        {
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          if (shared.closed[pid]) {
+            park_token(w, t);
+            break;
+          }
+          ++shared.in_flight[pid];
+        }
+        emit(StageEventKind::kBufferAccepted, w.index, pid);
+        const auto tw = util::Clock::now();
+        StageAction action;
+        try {
+          action = stage->apply(*t.buffer);
+        } catch (...) {
+          park_token(w, t);
+          {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            --shared.in_flight[pid];
+          }
+          shared.cv.notify_all();
+          merge_stats();
+          throw;
+        }
+        local.working += now_minus(tw);
+        ++local.buffers;
+        const bool conveys = action == StageAction::kConvey ||
+                             action == StageAction::kConveyAndClose;
+        const bool closes = action == StageAction::kConveyAndClose ||
+                            action == StageAction::kRecycleAndClose;
+        if (conveys) {
+          BufferQueue* q = w.out.at(pid);
+          const auto tc = util::Clock::now();
+          const bool ok = q->push(t);
+          local.convey_blocked += now_minus(tc);
+          if (!ok) {
+            park_token(w, t);
+          } else {
+            emit(StageEventKind::kBufferConveyed, w.index, pid);
+            emit_queue(StageEventKind::kQueuePush, q, pid);
+          }
+        } else {
+          park_token(w, t);
+        }
+        if (closes) {
+          bool first_close;
+          {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            first_close = !shared.closed[pid];
+            shared.closed[pid] = true;
+          }
+          if (first_close) {
+            source_in(pid)->push(Token::close(pid));
+            emit(StageEventKind::kPipelineClosed, w.index, pid);
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          --shared.in_flight[pid];
+        }
+        shared.cv.notify_all();
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Custom-stage context
+// ---------------------------------------------------------------------------
+
+void GraphRuntime::Context::convey(Buffer* b) {
+  auto it = w_.out.find(b->pipeline());
+  if (it == w_.out.end()) {
+    throw std::logic_error(
+        "fg::StageContext::convey: buffer belongs to a pipeline that stage "
+        "'" + w_.spec->stage->name() + "' is not a member of (buffers "
+        "cannot jump between pipelines)");
+  }
+  held_.erase(b);
+  const auto t0 = util::Clock::now();
+  const bool ok = it->second->push(Token::of_buffer(b));
+  w_.stats.convey_blocked += now_minus(t0);
+  if (!ok) {
+    rt_.park_token(w_, Token::of_buffer(b));
+    throw AbortSignal{};
+  }
+  rt_.emit(StageEventKind::kBufferConveyed, w_.index, b->pipeline());
+  rt_.emit_queue(StageEventKind::kQueuePush, it->second, b->pipeline());
+}
+
+void GraphRuntime::Context::recycle(Buffer* b) {
+  held_.erase(b);
+  rt_.park_token(w_, Token::of_buffer(b));
+}
+
+void GraphRuntime::Context::close(const Pipeline& p) {
+  rt_.source_in(p.id())->push(Token::close(p.id()));
+  rt_.emit(StageEventKind::kPipelineClosed, w_.index, p.id());
+}
+
+void GraphRuntime::Context::park_outstanding() {
+  for (Buffer* b : held_) {
+    rt_.park_token(w_, Token::of_buffer(b));
+  }
+  held_.clear();
+  for (auto& [pid, dq] : stash_) {
+    while (!dq.empty()) {
+      rt_.park_token(w_, Token::of_buffer(dq.front()));
+      dq.pop_front();
+    }
+  }
+}
+
+Buffer* GraphRuntime::Context::accept_pid(PipelineId pid) {
+  auto sit = stash_.find(pid);
+  if (sit != stash_.end() && !sit->second.empty()) {
+    Buffer* b = sit->second.front();
+    sit->second.pop_front();
+    held_.insert(b);
+    return b;
+  }
+  if (exhausted_.count(pid)) return nullptr;
+  auto qit = w_.in_by_pid.find(pid);
+  if (qit == w_.in_by_pid.end()) {
+    throw std::logic_error(
+        "fg::StageContext::accept: stage '" + w_.spec->stage->name() +
+        "' is not a member of that pipeline");
+  }
+  BufferQueue* q = qit->second;
+  for (;;) {
+    const auto t0 = util::Clock::now();
+    Token t = q->pop();
+    w_.stats.accept_blocked += now_minus(t0);
+    switch (t.kind) {
+      case TokenKind::kAbort:
+        throw AbortSignal{};
+      case TokenKind::kCaboose:
+        exhausted_.insert(t.pipeline);
+        if (t.pipeline == pid) return nullptr;
+        break;
+      case TokenKind::kBuffer:
+        rt_.emit(StageEventKind::kBufferAccepted, w_.index, t.pipeline);
+        if (t.pipeline == pid) {
+          held_.insert(t.buffer);
+          return t.buffer;
+        }
+        ++w_.stats.buffers;  // counted when stashed, not when re-served
+        stash_[t.pipeline].push_back(t.buffer);
+        break;
+      case TokenKind::kClose:
+        break;  // not expected
+    }
+  }
+}
+
+void GraphRuntime::custom_loop(RunWorker& w) {
+  Context ctx(*this, w);
+  const auto t0 = util::Clock::now();
+  try {
+    w.spec->stage->run(ctx);
+  } catch (const AbortSignal&) {
+    ctx.park_outstanding();
+    return;
+  } catch (...) {
+    ctx.park_outstanding();
+    throw;
+  }
+  // Working time = wall time minus time spent blocked in accept/convey.
+  w.stats.working +=
+      now_minus(t0) - w.stats.accept_blocked - w.stats.convey_blocked;
+  ctx.park_outstanding();
+  // Flush: every outbound port gets this stage's caboose.
+  for (PipelineId pid : w.spec->members) {
+    auto it = w.out.find(pid);
+    if (it != w.out.end()) {
+      it->second->push(Token::caboose(pid));
+      emit(StageEventKind::kCabooseForwarded, w.index, pid);
+    }
+  }
+}
+
+}  // namespace fg

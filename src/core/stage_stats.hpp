@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fg {
 
@@ -22,6 +23,40 @@ struct StageStats {
   double working_seconds() const { return util::to_seconds(working); }
   double accept_seconds() const { return util::to_seconds(accept_blocked); }
   double convey_seconds() const { return util::to_seconds(convey_blocked); }
+
+  /// Zero the counters, keeping the identity labels.  The runtime calls
+  /// this between runs of a rerunnable graph.
+  void reset_counters() noexcept {
+    buffers = 0;
+    working = util::Duration{};
+    accept_blocked = util::Duration{};
+    convey_blocked = util::Duration{};
+  }
 };
+
+/// Fold `from` into `into`, matching entries by (stage, pipelines) label
+/// and summing their counters; unmatched entries are appended.  The sort
+/// drivers use this to aggregate stats across nodes and passes into one
+/// report.
+inline void merge_stage_stats(std::vector<StageStats>& into,
+                              const std::vector<StageStats>& from) {
+  for (const StageStats& s : from) {
+    StageStats* hit = nullptr;
+    for (StageStats& t : into) {
+      if (t.stage == s.stage && t.pipelines == s.pipelines) {
+        hit = &t;
+        break;
+      }
+    }
+    if (!hit) {
+      into.push_back(s);
+      continue;
+    }
+    hit->buffers += s.buffers;
+    hit->working += s.working;
+    hit->accept_blocked += s.accept_blocked;
+    hit->convey_blocked += s.convey_blocked;
+  }
+}
 
 }  // namespace fg

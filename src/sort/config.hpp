@@ -2,6 +2,7 @@
 // result structures the drivers report.
 #pragma once
 
+#include "core/stage_stats.hpp"
 #include "sort/distributions.hpp"
 #include "util/latency.hpp"
 
@@ -69,6 +70,9 @@ struct PhaseTimes {
 struct SortResult {
   PhaseTimes times;
   std::uint64_t records{0};
+  /// Per-stage statistics aggregated across every pipeline graph the run
+  /// executed (all nodes, all passes), merged by (stage, pipelines) label.
+  std::vector<StageStats> stage_totals;
 };
 
 }  // namespace fg::sort

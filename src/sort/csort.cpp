@@ -6,6 +6,7 @@
 #include "util/timer.hpp"
 
 #include <cstring>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -134,6 +135,7 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
 
   SortResult result;
   result.records = cfg.records;
+  std::mutex stats_mutex;  // node lambdas run concurrently
 
   // ------------------------------------------------------------------
   // Pass 1: sort columns (step 1) + transpose shuffle (step 2).
@@ -226,6 +228,10 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(communicate);
       pl.add_stage(write);
       graph.run();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        merge_stage_stats(result.stage_totals, graph.stats());
+      }
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }
@@ -315,6 +321,10 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(communicate);
       pl.add_stage(write);
       graph.run();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        merge_stage_stats(result.stage_totals, graph.stats());
+      }
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }
@@ -462,6 +472,10 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(communicate);
       pl.add_stage(write);
       graph.run();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        merge_stage_stats(result.stage_totals, graph.stats());
+      }
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }

@@ -159,6 +159,7 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
 
   SortResult result;
   result.records = cfg.records;
+  std::mutex stats_mutex;  // node lambdas run concurrently
 
   // ------------------------------------------------------------------
   // Phase 0: splitter selection by oversampling.
@@ -312,6 +313,10 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       rp.add_stage(write);
 
       graph.run();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        merge_stage_stats(result.stage_totals, graph.stats());
+      }
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }
@@ -445,6 +450,10 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       rp.add_stage(write);
 
       graph.run();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        merge_stage_stats(result.stage_totals, graph.stats());
+      }
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }

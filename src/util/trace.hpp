@@ -1,0 +1,117 @@
+// Machine-readable run output: a small streaming JSON writer plus a
+// bounded, thread-safe trace log.
+//
+// The instrumentation layer (core/events.hpp) turns per-stage hooks into
+// generic trace entries; this file knows nothing about pipelines.  The
+// writer emits canonical JSON (UTF-8 pass-through, escaped control
+// characters, no trailing commas) so that `fgsort --stats-json` and the
+// benches can dump one blob per run that any downstream tool can parse.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fg::util {
+
+/// Streaming JSON writer with automatic comma placement.  Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("records"); w.value(std::uint64_t{1048576});
+///   w.key("stages"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string blob = w.str();
+///
+/// Nesting mistakes (a value with no pending key inside an object, or
+/// unbalanced begin/end) throw std::logic_error rather than emitting
+/// malformed output.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Name the next value inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(bool v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+
+  /// Shorthand for key(k); value(v).
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  /// True once every begin_* has been matched by its end_*.
+  bool complete() const noexcept;
+
+  /// The rendered document; valid only when complete().
+  const std::string& str() const;
+
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_{false};
+  bool root_written_{false};
+};
+
+/// Bounded, thread-safe event log.  The runtime appends one entry per
+/// instrumentation hook when tracing is enabled; entries past the bound
+/// are counted but dropped, so tracing a long run cannot exhaust memory.
+class TraceLog {
+ public:
+  struct Entry {
+    double t;            ///< seconds since the log was created/reset
+    const char* kind;    ///< static string naming the event
+    std::uint32_t scope; ///< worker or queue index, event-defined
+    std::uint32_t aux;   ///< pipeline id or depth, event-defined
+    std::uint64_t value; ///< event-defined payload
+  };
+
+  explicit TraceLog(std::size_t max_entries = 1u << 16);
+
+  /// Append one entry; `kind` must point at storage that outlives the log
+  /// (string literals, in practice).
+  void record(const char* kind, std::uint32_t scope, std::uint32_t aux,
+              std::uint64_t value) noexcept;
+
+  std::vector<Entry> snapshot() const;
+  std::uint64_t dropped() const noexcept;
+  void reset() noexcept;
+
+  /// Emit the log as a JSON array of entry objects.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  double now_seconds() const noexcept;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::size_t max_entries_;
+  std::uint64_t dropped_{0};
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace fg::util

@@ -82,8 +82,12 @@ TEST(ContextEdge, CustomStageStatsCountStashedBuffers) {
   pa.add_stage(consume);
   g.run();
   for (const auto& s : g.stats()) {
-    if (s.stage == "consume") EXPECT_GE(s.working_seconds(), 0.0);
-    if (s.stage == "source") EXPECT_EQ(s.buffers, 5u);
+    if (s.stage == "consume") {
+      EXPECT_GE(s.working_seconds(), 0.0);
+    }
+    if (s.stage == "source") {
+      EXPECT_EQ(s.buffers, 5u);
+    }
   }
 }
 

@@ -30,7 +30,8 @@ SortConfig latency_config() {
 LatencyProfile mild_latency() {
   // Small but nonzero: microseconds of setup, high bandwidth, so tests
   // stay fast while still exercising the latency code paths.
-  return {util::LatencyModel::of(100, 500), util::LatencyModel::of(20, 1000)};
+  return {util::LatencyModel::of(100, 500), util::LatencyModel::of(20, 1000),
+          util::LatencyModel{}};
 }
 
 TEST(Integration, DsortCorrectUnderLatency) {

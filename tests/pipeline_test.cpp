@@ -235,8 +235,12 @@ TEST(Pipeline, SlowStageAccumulatesWorkTime) {
   p.add_stage(slow);
   g.run();
   for (const auto& s : g.stats()) {
-    if (s.stage == "slow") EXPECT_GE(s.working_seconds(), 0.02);
-    if (s.stage == "sink") EXPECT_GE(s.accept_seconds(), 0.01);
+    if (s.stage == "slow") {
+      EXPECT_GE(s.working_seconds(), 0.02);
+    }
+    if (s.stage == "sink") {
+      EXPECT_GE(s.accept_seconds(), 0.01);
+    }
   }
 }
 
@@ -253,13 +257,25 @@ TEST(Pipeline, StageExceptionPropagatesAndUnwinds) {
   EXPECT_THROW(g.run(), std::runtime_error);
 }
 
-TEST(Pipeline, RunIsSingleShot) {
+TEST(Pipeline, RunIsRepeatable) {
+  // Graphs execute a cached plan on a fresh runtime per run(): same
+  // results every time, stats reset in between.
   PipelineGraph g;
-  auto& p = g.add_pipeline(small_config("p", 1));
-  MapStage s("s", [](Buffer&) { return StageAction::kConvey; });
+  auto& p = g.add_pipeline(small_config("p", 6));
+  int seen = 0;
+  MapStage s("s", [&](Buffer&) {
+    ++seen;
+    return StageAction::kConvey;
+  });
   p.add_stage(s);
   g.run();
-  EXPECT_THROW(g.run(), std::logic_error);
+  EXPECT_EQ(seen, 6);
+  g.run();
+  EXPECT_EQ(seen, 12);
+  EXPECT_EQ(g.runs_completed(), 2u);
+  for (const auto& st : g.stats()) {
+    EXPECT_EQ(st.buffers, 6u);  // second run's stats, not a running total
+  }
 }
 
 TEST(Pipeline, EmptyGraphRejected) {

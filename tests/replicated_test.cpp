@@ -146,7 +146,9 @@ TEST(Replicated, StatsAggregateAcrossReplicas) {
   p.add_stage_replicated(s, 4);
   g.run();
   for (const auto& st : g.stats()) {
-    if (st.stage == "rep") EXPECT_EQ(st.buffers, 100u);
+    if (st.stage == "rep") {
+      EXPECT_EQ(st.buffers, 100u);
+    }
   }
 }
 

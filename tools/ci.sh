@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI entry point: build and test the library in a Release configuration
+# and under ThreadSanitizer.  The pipeline runtime is all threads and
+# queues, so a TSan pass is the cheapest way to keep the worker loops
+# honest; run it on every change to src/core.
+#
+#   tools/ci.sh [JOBS]
+set -eu
+
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+root=$(cd "$(dirname "$0")/.." && pwd)
+
+run_config() {
+  name=$1
+  shift
+  build="$root/build-ci-$name"
+  echo "==> configure $name"
+  cmake -S "$root" -B "$build" "$@" >/dev/null
+  echo "==> build $name"
+  cmake --build "$build" -j "$jobs"
+  echo "==> test $name"
+  (cd "$build" && ctest --output-on-failure -j "$jobs")
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release -DFG_WERROR=ON
+run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFG_SANITIZE=thread
+
+echo "==> ci: all configurations passed"

@@ -16,10 +16,15 @@
 //     --latency paper|none              (default: paper)
 //     --seek-aware                      (seek-aware disk charging)
 //     --stats                           (print per-node substrate counters)
+//     --stats-json FILE                 (write one JSON blob per run:
+//                                        config, phase times, per-stage
+//                                        pipeline stats, per-node traffic)
 //     --keep DIR                        (keep the workspace under DIR)
+#include "core/events.hpp"
 #include "sort/experiment.hpp"
 #include "sort/ssort.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +42,7 @@ struct Options {
   bool paper_latency{true};
   bool seek_aware{false};
   bool stats{false};
+  std::optional<std::string> stats_json;
   std::optional<std::string> keep_dir;
 };
 
@@ -45,7 +51,7 @@ struct Options {
                "usage: %s [--program dsort|csort|ssort|all] [--nodes N]\n"
                "          [--records N] [--record-bytes B] [--dist D]\n"
                "          [--seed S] [--latency paper|none] [--seek-aware]\n"
-               "          [--stats] [--keep DIR]\n",
+               "          [--stats] [--stats-json FILE] [--keep DIR]\n",
                argv0);
   std::exit(2);
 }
@@ -82,6 +88,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--latency") opt.paper_latency = need(i) == "paper";
     else if (a == "--seek-aware") opt.seek_aware = true;
     else if (a == "--stats") opt.stats = true;
+    else if (a == "--stats-json") opt.stats_json = need(i);
     else if (a == "--keep") opt.keep_dir = need(i);
     else usage(argv[0]);
   }
@@ -106,6 +113,7 @@ struct RunReport {
   sort::VerifyResult verify;
   double disk_busy_seconds{0};
   std::uint64_t bytes_sent{0};
+  std::vector<comm::TrafficStats> traffic;  // per node
 };
 
 RunReport run_one(const std::string& program, const Options& opt) {
@@ -136,9 +144,78 @@ RunReport run_one(const std::string& program, const Options& opt) {
   report.verify = sort::verify_output(*ws, cfg);
   for (int n = 0; n < cfg.nodes; ++n) {
     report.disk_busy_seconds += util::to_seconds(ws->disk(n).stats().busy);
-    report.bytes_sent += cluster.fabric().stats(n).bytes_sent;
+    report.traffic.push_back(cluster.fabric().stats(n));
+    report.bytes_sent += report.traffic.back().bytes_sent;
   }
   return report;
+}
+
+void write_traffic_json(util::JsonWriter& w, const comm::TrafficStats& t) {
+  w.begin_object();
+  w.kv("messages_sent", t.messages_sent);
+  w.kv("bytes_sent", t.bytes_sent);
+  w.kv("messages_received", t.messages_received);
+  w.kv("bytes_received", t.bytes_received);
+  w.end_object();
+}
+
+/// One blob per invocation: the configuration plus, per program run, the
+/// phase times, verification verdict, aggregated pipeline StageStats, and
+/// the communication/disk substrate counters — the machine-readable twin
+/// of the human tables above.
+std::string stats_json_blob(const Options& opt,
+                            const std::vector<RunReport>& reports) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("config");
+  w.begin_object();
+  w.kv("records", static_cast<std::uint64_t>(opt.cfg.records));
+  w.kv("record_bytes", opt.cfg.record_bytes);
+  w.kv("nodes", opt.cfg.nodes);
+  w.kv("distribution", sort::to_string(opt.cfg.dist));
+  w.kv("seed", static_cast<std::uint64_t>(opt.cfg.seed));
+  w.kv("latency", opt.paper_latency ? "paper" : "none");
+  w.kv("seek_aware", opt.seek_aware);
+  w.end_object();
+  w.key("programs");
+  w.begin_array();
+  for (const auto& r : reports) {
+    w.begin_object();
+    w.kv("program", r.program);
+    w.key("times");
+    w.begin_object();
+    w.kv("sampling_s", r.result.times.sampling);
+    w.key("passes_s");
+    w.begin_array();
+    for (double p : r.result.times.passes) w.value(p);
+    w.end_array();
+    w.kv("total_s", r.result.times.total());
+    w.end_object();
+    w.kv("verified", r.verify.ok());
+    w.key("stages");
+    write_stage_stats_json(w, r.result.stage_totals);
+    w.kv("disk_busy_seconds", r.disk_busy_seconds);
+    w.key("traffic");
+    w.begin_object();
+    w.key("per_node");
+    w.begin_array();
+    comm::TrafficStats total;
+    for (const auto& t : r.traffic) {
+      write_traffic_json(w, t);
+      total.messages_sent += t.messages_sent;
+      total.bytes_sent += t.bytes_sent;
+      total.messages_received += t.messages_received;
+      total.bytes_received += t.bytes_received;
+    }
+    w.end_array();
+    w.key("total");
+    write_traffic_json(w, total);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace
@@ -180,6 +257,18 @@ int main(int argc, char** argv) {
                   util::fmt_seconds(r.disk_busy_seconds).c_str(),
                   util::fmt_bytes(r.bytes_sent).c_str());
     }
+  }
+  if (opt.stats_json) {
+    const std::string blob = stats_json_blob(opt, reports);
+    std::FILE* f = std::fopen(opt.stats_json->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "fgsort: cannot write '%s'\n",
+                   opt.stats_json->c_str());
+      return 1;
+    }
+    std::fwrite(blob.data(), 1, blob.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
   }
   for (const auto& r : reports) {
     if (!r.verify.ok()) return 1;
