@@ -1,5 +1,7 @@
 #include "comm/fabric.hpp"
 
+#include "util/fault.hpp"
+
 #include <algorithm>
 #include <cstring>
 #include <unordered_map>
@@ -32,6 +34,17 @@ Fabric::Fabric(int nodes, util::LatencyModel model) : model_(model) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
   traffic_.resize(static_cast<std::size_t>(nodes));
+  crashed_ = std::vector<std::atomic<bool>>(static_cast<std::size_t>(nodes));
+}
+
+void Fabric::check_crash(NodeId node) {
+  std::atomic<bool>& flag = crashed_[static_cast<std::size_t>(node)];
+  if (flag.load(std::memory_order_relaxed)) throw FabricNodeCrashed(node);
+  fault::Injector* inj = injector_.load(std::memory_order_relaxed);
+  if (inj && inj->fire(fault::kFabricCrash, node)) {
+    flag.store(true, std::memory_order_relaxed);
+    throw FabricNodeCrashed(node);
+  }
 }
 
 void Fabric::check_node(NodeId n, const char* what) const {
@@ -54,7 +67,25 @@ void Fabric::send_internal(NodeId src, NodeId dst, int tag,
                            std::span<const std::byte> data) {
   check_node(src, "send");
   check_node(dst, "send");
+  check_crash(src);
   if (aborted()) throw FabricAborted{};
+
+  // Injected wire faults; self-sends never touch the wire, so they can
+  // neither be dropped nor delayed.
+  fault::Injector* inj = injector_.load(std::memory_order_relaxed);
+  if (src != dst && inj && inj->fire(fault::kFabricDrop, src)) {
+    std::lock_guard<std::mutex> lock(traffic_mutex_);
+    auto& t = traffic_[static_cast<std::size_t>(src)];
+    ++t.messages_sent;
+    t.bytes_sent += data.size();
+    ++t.messages_dropped;
+    return;  // the sender believes it succeeded; the wire ate it
+  }
+  util::Duration spike = util::Duration::zero();
+  if (src != dst && inj && inj->fire(fault::kFabricDelay, src)) {
+    spike = std::chrono::duration_cast<util::Duration>(std::chrono::nanoseconds(
+        delay_spike_ns_.load(std::memory_order_relaxed)));
+  }
 
   Message m;
   m.src = src;
@@ -69,7 +100,7 @@ void Fabric::send_internal(NodeId src, NodeId dst, int tag,
     // even if it is smaller and would otherwise "arrive" sooner.  A node
     // sending to itself never touches the wire, so it pays no latency.
     const util::TimePoint earliest =
-        util::Clock::now() +
+        util::Clock::now() + spike +
         (src == dst ? util::Duration::zero() : model_.cost(data.size()));
     util::TimePoint floor{};
     for (auto it = mb.messages.rbegin(); it != mb.messages.rend(); ++it) {
@@ -104,6 +135,19 @@ RecvResult Fabric::recv_internal(NodeId me, NodeId src, int tag,
                                  std::span<std::byte> out) {
   check_node(me, "recv");
   if (src != kAnySource) check_node(src, "recv");
+  check_crash(me);
+
+  const std::int64_t deadline_ns =
+      recv_deadline_ns_.load(std::memory_order_relaxed);
+  const bool bounded = deadline_ns > 0;
+  const util::TimePoint expiry =
+      util::Clock::now() + std::chrono::duration_cast<util::Duration>(
+                               std::chrono::nanoseconds(deadline_ns));
+  const auto timed_out = [&] {
+    return FabricTimeout("fg::comm::Fabric::recv: node " + std::to_string(me) +
+                         " timed out waiting for src=" + std::to_string(src) +
+                         " tag=" + std::to_string(tag));
+  };
 
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
   std::unique_lock<std::mutex> lock(mb.mutex);
@@ -135,7 +179,13 @@ RecvResult Fabric::recv_internal(NodeId me, NodeId src, int tag,
         t.bytes_received += r.bytes;
         return r;
       }
-      mb.cv.wait_until(lock, best->deliver_at);
+      if (bounded && now >= expiry) throw timed_out();
+      mb.cv.wait_until(lock,
+                       bounded ? std::min(best->deliver_at, expiry)
+                               : best->deliver_at);
+    } else if (bounded) {
+      if (util::Clock::now() >= expiry) throw timed_out();
+      mb.cv.wait_until(lock, expiry);
     } else {
       mb.cv.wait(lock);
     }

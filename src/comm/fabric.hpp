@@ -22,6 +22,7 @@
 #include "util/latency.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -29,7 +30,12 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+namespace fg::fault {
+class Injector;
+}  // namespace fg::fault
 
 namespace fg::comm {
 
@@ -48,6 +54,26 @@ struct FabricAborted : std::runtime_error {
   FabricAborted() : std::runtime_error("fg::comm::Fabric aborted") {}
 };
 
+/// Thrown from recv (and any collective blocked in a receive) when an
+/// armed recv deadline expires before a matching message is deliverable.
+/// Without a deadline a dropped message hangs the receiver forever; with
+/// one, the loss surfaces as a diagnosable error.
+struct FabricTimeout : std::runtime_error {
+  explicit FabricTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown from every fabric call made by a node the fault injector has
+/// crashed (site "fabric.crash").  Only the crashed node sees this; the
+/// survivors unwind via the normal abort path when the cluster tears the
+/// run down.
+struct FabricNodeCrashed : std::runtime_error {
+  explicit FabricNodeCrashed(NodeId node)
+      : std::runtime_error("fg::comm::Fabric: node " + std::to_string(node) +
+                           " crashed (injected fault)"),
+        node(node) {}
+  NodeId node;
+};
+
 /// What recv() reports about the message it delivered.
 struct RecvResult {
   NodeId source{0};
@@ -61,6 +87,9 @@ struct TrafficStats {
   std::uint64_t bytes_sent{0};
   std::uint64_t messages_received{0};
   std::uint64_t bytes_received{0};
+  /// Messages the fault injector dropped on the wire (counted against the
+  /// sender; they are also counted in messages_sent/bytes_sent).
+  std::uint64_t messages_dropped{0};
 };
 
 class Fabric {
@@ -136,6 +165,44 @@ class Fabric {
     return aborted_.load(std::memory_order_relaxed);
   }
 
+  // -- fault injection --------------------------------------------------------
+
+  /// Attach a fault injector: sends consult fabric.drop / fabric.delay
+  /// (node = sender) and every call consults fabric.crash.  Pass nullptr
+  /// to detach.  The injector must outlive the fabric.
+  void set_fault_injector(fault::Injector* inj) noexcept {
+    injector_.store(inj, std::memory_order_relaxed);
+  }
+
+  /// Deadline applied to every blocking receive (point-to-point and the
+  /// receive halves of collectives): if no matching message becomes
+  /// deliverable within `d` of the call, the receiver throws FabricTimeout
+  /// instead of waiting forever.  Zero (the default) disables it.  Set it
+  /// comfortably above the largest modeled message latency.
+  void set_recv_deadline(util::Duration d) noexcept {
+    recv_deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+        std::memory_order_relaxed);
+  }
+  util::Duration recv_deadline() const noexcept {
+    return std::chrono::duration_cast<util::Duration>(std::chrono::nanoseconds(
+        recv_deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
+  /// Extra delivery latency added to a message when fabric.delay fires.
+  void set_delay_spike(util::Duration d) noexcept {
+    delay_spike_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+        std::memory_order_relaxed);
+  }
+
+  /// Has the injector crashed this node?
+  bool crashed(NodeId node) const {
+    check_node(node, "crashed");
+    return crashed_[static_cast<std::size_t>(node)].load(
+        std::memory_order_relaxed);
+  }
+
   /// Per-node traffic counters (application payload bytes).
   TrafficStats stats(NodeId node) const;
 
@@ -154,6 +221,9 @@ class Fabric {
   };
 
   void check_node(NodeId n, const char* what) const;
+  /// Throws FabricNodeCrashed if `node` is crashed, or if the injector's
+  /// fabric.crash site fires for it now (marking it crashed from then on).
+  void check_crash(NodeId node);
   void send_internal(NodeId src, NodeId dst, int tag,
                      std::span<const std::byte> data);
   RecvResult recv_internal(NodeId me, NodeId src, int tag,
@@ -164,6 +234,10 @@ class Fabric {
   std::vector<TrafficStats> traffic_;          // guarded by traffic_mutex_
   mutable std::mutex traffic_mutex_;
   std::atomic<bool> aborted_{false};
+  std::atomic<fault::Injector*> injector_{nullptr};
+  std::atomic<std::int64_t> recv_deadline_ns_{0};
+  std::atomic<std::int64_t> delay_spike_ns_{2'000'000};  // 2 ms
+  std::vector<std::atomic<bool>> crashed_;
 };
 
 }  // namespace fg::comm

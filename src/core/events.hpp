@@ -13,6 +13,7 @@
 #include "core/buffer.hpp"
 #include "core/queue.hpp"
 #include "core/stage_stats.hpp"
+#include "util/retry.hpp"
 #include "util/trace.hpp"
 
 #include <cstdint>
@@ -76,7 +77,14 @@ struct RunStats {
   double wall_seconds{0.0};
   std::size_t runs_completed{0};  ///< how many times the graph has run
 
-  /// Emit as one JSON object: {"wall_seconds":…,"stages":[…],"queues":[…]}.
+  // Fault/recovery counters.  The runtime itself does not fill these —
+  // the driver that owns the disks and the fault injector aggregates them
+  // (see fgsort) so one blob describes the whole run.
+  util::RetryStats disk_retries;
+  std::uint64_t faults_injected{0};
+
+  /// Emit as one JSON object: {"wall_seconds":…,"stages":[…],"queues":[…],
+  /// "disk_retries":{…},"faults_injected":…}.
   void write_json(util::JsonWriter& w) const;
 };
 

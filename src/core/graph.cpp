@@ -15,6 +15,8 @@ struct PipelineGraph::Impl {
   std::unique_ptr<GraphRuntime> last;    // most recent run (stats live here)
   EventSink* sink{nullptr};
   std::size_t runs_completed{0};
+  util::Duration watchdog_window{util::Duration::zero()};
+  std::function<void()> abort_hook;
 
   ExecutionPlan& ensure_plan() {
     if (!plan) plan = std::make_unique<ExecutionPlan>(pipelines);
@@ -48,11 +50,21 @@ void PipelineGraph::set_event_sink(EventSink* sink) {
   impl_->sink = sink;
 }
 
+void PipelineGraph::set_watchdog(util::Duration window) {
+  impl_->watchdog_window = window;
+}
+
+void PipelineGraph::set_abort_hook(std::function<void()> hook) {
+  impl_->abort_hook = std::move(hook);
+}
+
 void PipelineGraph::run() {
   const ExecutionPlan& plan = impl_->ensure_plan();
   // Fresh queues, pools, and statistics every run; replacing the previous
   // runtime is what resets stats between runs.
   impl_->last = std::make_unique<GraphRuntime>(plan, impl_->sink);
+  impl_->last->set_watchdog(impl_->watchdog_window);
+  if (impl_->abort_hook) impl_->last->set_abort_hook(impl_->abort_hook);
   impl_->last->run();  // on throw, `last` keeps the partial stats
   ++impl_->runs_completed;
 }

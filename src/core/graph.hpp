@@ -45,6 +45,7 @@
 #include "core/stage.hpp"
 #include "core/stage_stats.hpp"
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -81,6 +82,19 @@ class PipelineGraph {
   /// runs; pass nullptr to detach.  The sink must be thread-safe and must
   /// outlive every run() it observes.
   void set_event_sink(EventSink* sink);
+
+  /// Arm a stall watchdog on subsequent runs: if no worker completes a
+  /// queue operation for `window`, the run aborts with PipelineStalled
+  /// (naming each blocked worker and its queue) instead of deadlocking.
+  /// Zero disables it.  Pick a window comfortably above the longest
+  /// single stage operation, modeled I/O included.
+  void set_watchdog(util::Duration window);
+
+  /// Extra teardown the watchdog invokes after aborting the queues, for
+  /// stages that block in substrates the runtime cannot see (e.g. a
+  /// comm::Fabric — register `[&]{ fabric.abort(); }` so a stalled run
+  /// unwinds workers blocked in fabric calls too).
+  void set_abort_hook(std::function<void()> hook);
 
   /// Per-worker timing statistics of the most recent run (partial if it
   /// aborted); empty before the first run.

@@ -2,6 +2,8 @@
 // loops live in runtime_loops.cpp; shared state in runtime_impl.hpp.
 #include "core/runtime_impl.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace fg {
@@ -57,8 +59,8 @@ GraphRuntime::GraphRuntime(const ExecutionPlan& plan, EventSink* sink)
     for (const auto& [pid, qi] : spec.out) w->out[pid] = q(qi);
     if (spec.kind == WorkerKind::kSource) {
       for (PipelineId pid : spec.members) {
-        w->src[pid] =
-            RunWorker::SrcState{plan.pools()[pid].rounds, 0, 0, 0, false};
+        // Piecewise init: SrcState holds atomics, so no aggregate copy.
+        w->src[pid].target = plan.pools()[pid].rounds;
       }
     }
     w->stats.stage = spec.label;
@@ -67,7 +69,18 @@ GraphRuntime::GraphRuntime(const ExecutionPlan& plan, EventSink* sink)
   }
 }
 
-GraphRuntime::~GraphRuntime() = default;
+GraphRuntime::~GraphRuntime() {
+  // run() always joins it, but guard against a runtime destroyed after a
+  // construction-time throw in run() itself.
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog_thread_.join();
+  }
+}
 
 void GraphRuntime::record_error(std::exception_ptr e) {
   std::lock_guard<std::mutex> lock(err_mutex_);
@@ -82,6 +95,94 @@ void GraphRuntime::emit_queue(StageEventKind kind, const BufferQueue* q,
                               PipelineId pid) {
   if (!sink_) return;
   sink_->on_event(StageEvent{kind, queue_index_.at(q), pid, q->size()});
+}
+
+// ---------------------------------------------------------------------------
+// Traced queue operations and the stall watchdog
+// ---------------------------------------------------------------------------
+
+Token GraphRuntime::traced_pop(RunWorker& w, BufferQueue* q) {
+  w.blocked_queue.store(queue_index_.at(q), std::memory_order_relaxed);
+  w.blocked_push.store(false, std::memory_order_relaxed);
+  Token t = q->pop();
+  w.blocked_queue.store(kNoQueue, std::memory_order_relaxed);
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  return t;
+}
+
+bool GraphRuntime::traced_push(RunWorker& w, BufferQueue* q, Token t) {
+  w.blocked_queue.store(queue_index_.at(q), std::memory_order_relaxed);
+  w.blocked_push.store(true, std::memory_order_relaxed);
+  const bool ok = q->push(t);
+  w.blocked_queue.store(kNoQueue, std::memory_order_relaxed);
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+std::string GraphRuntime::stall_report() const {
+  std::string out = "fg::GraphRuntime: pipeline stalled: no queue progress "
+                    "for " +
+                    std::to_string(std::chrono::duration_cast<
+                                       std::chrono::milliseconds>(
+                                       watchdog_window_)
+                                       .count()) +
+                    " ms\n";
+  for (const auto& w : workers_) {
+    const std::uint32_t qi = w->blocked_queue.load(std::memory_order_relaxed);
+    out += "  worker " + std::to_string(w->index) + " '" + w->spec->label +
+           "': ";
+    if (qi == kNoQueue) {
+      out += "not blocked on a queue (working, or blocked in a stage body)";
+    } else {
+      out += w->blocked_push.load(std::memory_order_relaxed)
+                 ? "blocked pushing to queue "
+                 : "blocked popping from queue ";
+      out += std::to_string(qi);
+      const QueueStats qs = queues_[qi]->stats();
+      out += " (depth " + std::to_string(queues_[qi]->size()) + "/" +
+             std::to_string(qs.capacity) + ")";
+    }
+    out += "\n";
+  }
+  const std::vector<BufferAudit> audit = audit_buffers();
+  for (PipelineId pid = 0; pid < audit.size(); ++pid) {
+    const BufferAudit& a = audit[pid];
+    out += "  pipeline " + std::to_string(pid) + " buffers: pool=" +
+           std::to_string(a.pool) + " in_queues=" +
+           std::to_string(a.in_queues) + " never_emitted=" +
+           std::to_string(a.never_emitted) + " parked=" +
+           std::to_string(a.parked) + " in_flight=" +
+           std::to_string(a.pool - std::min(a.pool, a.accounted())) + "\n";
+  }
+  return out;
+}
+
+void GraphRuntime::watchdog_loop() {
+  std::uint64_t last = progress_.load(std::memory_order_relaxed);
+  util::TimePoint last_change = util::Clock::now();
+  // Poll at a quarter of the window: fine enough that a stall is caught
+  // within ~1.25 windows, coarse enough to be free.
+  const util::Duration tick =
+      std::max<util::Duration>(watchdog_window_ / 4,
+                               std::chrono::milliseconds(1));
+  std::unique_lock<std::mutex> lock(wd_mutex_);
+  for (;;) {
+    wd_cv_.wait_for(lock, tick, [&] { return wd_stop_; });
+    if (wd_stop_) return;
+    const std::uint64_t cur = progress_.load(std::memory_order_relaxed);
+    const util::TimePoint now = util::Clock::now();
+    if (cur != last) {
+      last = cur;
+      last_change = now;
+      continue;
+    }
+    if (now - last_change >= watchdog_window_) {
+      record_error(std::make_exception_ptr(PipelineStalled(stall_report())));
+      abort_all();
+      if (abort_hook_) abort_hook_();
+      return;  // one shot; the abort unwinds every worker
+    }
+  }
 }
 
 void GraphRuntime::worker_entry(RunWorker* w) {
@@ -103,6 +204,9 @@ void GraphRuntime::worker_entry(RunWorker* w) {
   } catch (...) {
     record_error(std::current_exception());
     abort_all();
+    // Queue aborts cannot wake siblings blocked in external substrates
+    // (e.g. a fabric recv); the hook tears those down too.
+    if (abort_hook_) abort_hook_();
   }
 }
 
@@ -125,11 +229,22 @@ void GraphRuntime::run() {
       w->extra_threads.emplace_back([this, raw] { worker_entry(raw); });
     }
   }
+  if (watchdog_window_ > util::Duration::zero()) {
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
     for (auto& t : w->extra_threads) {
       if (t.joinable()) t.join();
     }
+  }
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog_thread_.join();
   }
   wall_seconds_ = sw.elapsed_seconds();
   if (first_error_) std::rethrow_exception(first_error_);
@@ -156,9 +271,11 @@ std::vector<BufferAudit> GraphRuntime::audit_buffers() const {
   }
   for (const auto& w : workers_) {
     for (const auto& [pid, st] : w->src) {
+      const auto distinct = st.distinct.load(std::memory_order_relaxed);
       out[pid].never_emitted +=
-          static_cast<std::size_t>(pools_[pid].size() - st.distinct);
-      out[pid].parked += static_cast<std::size_t>(st.parked);
+          static_cast<std::size_t>(pools_[pid].size() - distinct);
+      out[pid].parked +=
+          static_cast<std::size_t>(st.parked.load(std::memory_order_relaxed));
     }
   }
   for (const auto& q : queues_) {
@@ -210,6 +327,14 @@ void RunStats::write_json(util::JsonWriter& w) const {
     w.end_object();
   }
   w.end_array();
+  w.key("disk_retries");
+  w.begin_object();
+  w.kv("attempts", disk_retries.attempts);
+  w.kv("retries", disk_retries.retries);
+  w.kv("absorbed", disk_retries.absorbed);
+  w.kv("exhausted", disk_retries.exhausted);
+  w.end_object();
+  w.kv("faults_injected", faults_injected);
   w.end_object();
 }
 

@@ -20,17 +20,32 @@
 #include "core/plan.hpp"
 #include "core/queue.hpp"
 #include "core/stage_stats.hpp"
+#include "util/latency.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 namespace fg {
+
+/// Thrown out of run() when the stall watchdog trips: no worker made any
+/// queue progress for the configured window.  The message is the full
+/// diagnostic — which queue each blocked worker is waiting on, plus the
+/// buffer audit — so a wedged pipeline aborts with an explanation instead
+/// of deadlocking silently.
+struct PipelineStalled : std::runtime_error {
+  explicit PipelineStalled(const std::string& report)
+      : std::runtime_error(report) {}
+};
 
 /// Where one pipeline's buffers are after a run: `pool` were allocated,
 /// `in_queues` rest in some queue (the source's recycle queue, normally),
@@ -59,6 +74,22 @@ class GraphRuntime {
   /// Spawn workers, execute to completion, join, rethrow the first stage
   /// exception.  Single-use.
   void run();
+
+  /// Arm the stall watchdog: if no worker completes a queue operation for
+  /// `window`, the run aborts with PipelineStalled.  Zero (the default)
+  /// disables it.  Must be called before run().  Pick a window comfortably
+  /// above the longest single stage operation (including modeled I/O).
+  void set_watchdog(util::Duration window) noexcept {
+    watchdog_window_ = window;
+  }
+
+  /// Extra teardown invoked if the watchdog trips, after the queues are
+  /// aborted.  Drivers whose stages block in external substrates (the
+  /// communication fabric) register an unblocking call here so a stalled
+  /// run can actually unwind.
+  void set_abort_hook(std::function<void()> hook) {
+    abort_hook_ = std::move(hook);
+  }
 
   /// Per-worker timing statistics (labelled from the plan).
   std::vector<StageStats> stats() const;
@@ -90,6 +121,14 @@ class GraphRuntime {
   void abort_all();
   void park_token(RunWorker& w, Token t);
 
+  /// Queue ops routed through these wrappers publish which queue the
+  /// worker is blocked on (for the stall report) and bump the progress
+  /// counter the watchdog monitors.
+  Token traced_pop(RunWorker& w, BufferQueue* q);
+  bool traced_push(RunWorker& w, BufferQueue* q, Token t);
+  void watchdog_loop();
+  std::string stall_report() const;
+
   void emit(StageEventKind kind, std::uint32_t worker, PipelineId pid,
             std::size_t depth = 0) {
     if (sink_) sink_->on_event(StageEvent{kind, worker, pid, depth});
@@ -109,6 +148,15 @@ class GraphRuntime {
   std::exception_ptr first_error_;
   bool ran_{false};
   double wall_seconds_{0.0};
+
+  // Stall watchdog state.
+  util::Duration watchdog_window_{util::Duration::zero()};
+  std::function<void()> abort_hook_;
+  std::atomic<std::uint64_t> progress_{0};
+  std::thread watchdog_thread_;
+  std::mutex wd_mutex_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_{false};
 };
 
 }  // namespace fg

@@ -38,11 +38,20 @@ struct GraphRuntime::RunWorker {
   std::thread thread;
   std::vector<std::thread> extra_threads;
 
+  // Diagnostic state for the stall watchdog: which queue this worker is
+  // currently blocked on (kNoQueue when it is not inside a queue op) and
+  // whether it is pushing or popping.  For replicated stages the replicas
+  // share these, so the report names *a* blocked replica's queue.
+  std::atomic<std::uint32_t> blocked_queue{kNoQueue};
+  std::atomic<bool> blocked_push{false};
+
   struct SrcState {
     std::uint64_t target{0};  // 0 = until closed
     std::uint64_t emitted{0};
-    std::uint64_t distinct{0};  // buffers that ever left the pool
-    std::uint64_t parked{0};    // late recycles retired after the caboose
+    // distinct/parked are read by audit_buffers() while the run is live
+    // (the watchdog's stall report), hence atomic.
+    std::atomic<std::uint64_t> distinct{0};  // buffers that ever left the pool
+    std::atomic<std::uint64_t> parked{0};  // recycles retired after caboose
     bool caboose_sent{false};
   };
   std::unordered_map<PipelineId, SrcState> src;

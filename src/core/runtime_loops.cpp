@@ -12,7 +12,7 @@ namespace fg {
 // stays accountable — nothing rests "nowhere" after an abort.
 void GraphRuntime::park_token(RunWorker& w, Token t) {
   BufferQueue* q = source_in(t.pipeline);
-  if (!q->push(t)) q->force_push(t);
+  if (!traced_push(w, q, t)) q->force_push(t);
   emit(StageEventKind::kBufferRecycled, w.index, t.pipeline);
   emit_queue(StageEventKind::kQueuePush, q, t.pipeline);
 }
@@ -28,7 +28,7 @@ void GraphRuntime::source_loop(RunWorker& w) {
     b->set_tag(0);
     BufferQueue* q = w.out.at(pid);
     const auto t0 = util::Clock::now();
-    const bool ok = q->push(Token::of_buffer(b));
+    const bool ok = traced_push(w, q, Token::of_buffer(b));
     w.stats.convey_blocked += now_minus(t0);
     if (!ok) {
       w.src[pid].parked += 1;  // token dropped by the aborted queue
@@ -43,7 +43,7 @@ void GraphRuntime::source_loop(RunWorker& w) {
     auto& st = w.src[pid];
     st.caboose_sent = true;
     --active;
-    w.out.at(pid)->push(Token::caboose(pid));
+    traced_push(w, w.out.at(pid), Token::caboose(pid));
     emit(StageEventKind::kCabooseForwarded, w.index, pid);
   };
   auto finish_if_done = [&](PipelineId pid) {
@@ -67,7 +67,7 @@ void GraphRuntime::source_loop(RunWorker& w) {
 
   while (active > 0) {
     const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
+    Token t = traced_pop(w, w.in);
     w.stats.accept_blocked += now_minus(t0);
     switch (t.kind) {
       case TokenKind::kAbort:
@@ -101,7 +101,7 @@ void GraphRuntime::sink_loop(RunWorker& w) {
   std::size_t active = w.spec->members.size();
   for (;;) {
     const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
+    Token t = traced_pop(w, w.in);
     w.stats.accept_blocked += now_minus(t0);
     switch (t.kind) {
       case TokenKind::kAbort:
@@ -127,7 +127,7 @@ void GraphRuntime::map_loop(RunWorker& w) {
 
   for (;;) {
     const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
+    Token t = traced_pop(w, w.in);
     w.stats.accept_blocked += now_minus(t0);
     switch (t.kind) {
       case TokenKind::kAbort:
@@ -136,7 +136,7 @@ void GraphRuntime::map_loop(RunWorker& w) {
         const auto tw = util::Clock::now();
         stage->flush(t.pipeline);
         w.stats.working += now_minus(tw);
-        w.out.at(t.pipeline)->push(t);
+        traced_push(w, w.out.at(t.pipeline), t);
         emit(StageEventKind::kCabooseForwarded, w.index, t.pipeline);
         if (--active == 0) return;
         break;
@@ -169,7 +169,7 @@ void GraphRuntime::map_loop(RunWorker& w) {
         if (conveys) {
           BufferQueue* q = w.out.at(pid);
           const auto tc = util::Clock::now();
-          const bool ok = q->push(t);
+          const bool ok = traced_push(w, q, t);
           w.stats.convey_blocked += now_minus(tc);
           if (!ok) {
             park_token(w, t);  // teardown: keep the buffer accountable
@@ -181,9 +181,12 @@ void GraphRuntime::map_loop(RunWorker& w) {
           park_token(w, t);
         }
         if (closes) {
-          source_in(pid)->push(Token::close(pid));
           closed[pid] = true;
-          emit(StageEventKind::kPipelineClosed, w.index, pid);
+          // A refused push means teardown is underway; the source is
+          // unwinding anyway, and the kAbort token ends this loop next.
+          if (traced_push(w, source_in(pid), Token::close(pid))) {
+            emit(StageEventKind::kPipelineClosed, w.index, pid);
+          }
         }
         break;
       }
@@ -219,7 +222,7 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
 
   for (;;) {
     const auto t0 = util::Clock::now();
-    Token t = w.in->pop();
+    Token t = traced_pop(w, w.in);
     local.accept_blocked += now_minus(t0);
     switch (t.kind) {
       case TokenKind::kAbort:
@@ -240,7 +243,7 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
         const auto tw = util::Clock::now();
         stage->flush(pid);
         local.working += now_minus(tw);
-        w.out.at(pid)->push(t);
+        traced_push(w, w.out.at(pid), t);
         emit(StageEventKind::kCabooseForwarded, w.index, pid);
         bool last;
         {
@@ -249,7 +252,7 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
         }
         if (last) {
           for (std::size_t i = 1; i < w.spec->replicas; ++i) {
-            w.in->push(Token::close(kNoPipeline));
+            traced_push(w, w.in, Token::close(kNoPipeline));
           }
           merge_stats();
           return;
@@ -290,7 +293,7 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
         if (conveys) {
           BufferQueue* q = w.out.at(pid);
           const auto tc = util::Clock::now();
-          const bool ok = q->push(t);
+          const bool ok = traced_push(w, q, t);
           local.convey_blocked += now_minus(tc);
           if (!ok) {
             park_token(w, t);
@@ -308,8 +311,8 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
             first_close = !shared.closed[pid];
             shared.closed[pid] = true;
           }
-          if (first_close) {
-            source_in(pid)->push(Token::close(pid));
+          if (first_close &&
+              traced_push(w, source_in(pid), Token::close(pid))) {
             emit(StageEventKind::kPipelineClosed, w.index, pid);
           }
         }
@@ -338,7 +341,7 @@ void GraphRuntime::Context::convey(Buffer* b) {
   }
   held_.erase(b);
   const auto t0 = util::Clock::now();
-  const bool ok = it->second->push(Token::of_buffer(b));
+  const bool ok = rt_.traced_push(w_, it->second, Token::of_buffer(b));
   w_.stats.convey_blocked += now_minus(t0);
   if (!ok) {
     rt_.park_token(w_, Token::of_buffer(b));
@@ -354,7 +357,12 @@ void GraphRuntime::Context::recycle(Buffer* b) {
 }
 
 void GraphRuntime::Context::close(const Pipeline& p) {
-  rt_.source_in(p.id())->push(Token::close(p.id()));
+  // An aborted queue refuses the close token; treat that like a refused
+  // convey — unwind through AbortSignal (custom_loop parks everything this
+  // context still holds) instead of dropping the token silently.
+  if (!rt_.traced_push(w_, rt_.source_in(p.id()), Token::close(p.id()))) {
+    throw AbortSignal{};
+  }
   rt_.emit(StageEventKind::kPipelineClosed, w_.index, p.id());
 }
 
@@ -389,7 +397,7 @@ Buffer* GraphRuntime::Context::accept_pid(PipelineId pid) {
   BufferQueue* q = qit->second;
   for (;;) {
     const auto t0 = util::Clock::now();
-    Token t = q->pop();
+    Token t = rt_.traced_pop(w_, q);
     w_.stats.accept_blocked += now_minus(t0);
     switch (t.kind) {
       case TokenKind::kAbort:
@@ -433,7 +441,7 @@ void GraphRuntime::custom_loop(RunWorker& w) {
   for (PipelineId pid : w.spec->members) {
     auto it = w.out.find(pid);
     if (it != w.out.end()) {
-      it->second->push(Token::caboose(pid));
+      traced_push(w, it->second, Token::caboose(pid));
       emit(StageEventKind::kCabooseForwarded, w.index, pid);
     }
   }

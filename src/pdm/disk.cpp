@@ -1,12 +1,20 @@
 #include "pdm/disk.hpp"
 
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
 #include <stdexcept>
 #include <thread>
 
 namespace fg::pdm {
 
 File::~File() {
-  if (f_) std::fclose(f_);
+  if (f_ && std::fclose(f_) != 0) {
+    // Destructors can't throw; a failed close here means buffered writes
+    // may be lost.  Callers who care route through Disk::close instead.
+    FG_LOG(kError) << "fg::pdm::File: close failed on " << name_
+                   << "; buffered writes may be lost";
+  }
 }
 
 File::File(File&& other) noexcept : f_(other.f_), name_(std::move(other.name_)) {
@@ -15,7 +23,10 @@ File::File(File&& other) noexcept : f_(other.f_), name_(std::move(other.name_)) 
 
 File& File::operator=(File&& other) noexcept {
   if (this != &other) {
-    if (f_) std::fclose(f_);
+    if (f_ && std::fclose(f_) != 0) {
+      FG_LOG(kError) << "fg::pdm::File: close failed on " << name_
+                     << "; buffered writes may be lost";
+    }
     f_ = other.f_;
     name_ = std::move(other.name_);
     other.f_ = nullptr;
@@ -56,6 +67,25 @@ void Disk::remove(const std::string& name) {
   std::filesystem::remove(dir_ / name);
 }
 
+void Disk::close(File& f) {
+  if (!f.is_open()) return;
+  std::FILE* h = f.f_;
+  f.f_ = nullptr;
+  bool flushed = false;
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (last_file_ == h) last_file_ = nullptr;
+    flushed = std::fflush(h) == 0;
+    closed = std::fclose(h) == 0;
+  }
+  if (!flushed || !closed) {
+    throw std::runtime_error(std::string("fg::pdm::Disk::close: ") +
+                             (!flushed ? "flush" : "close") + " failed on " +
+                             f.name());
+  }
+}
+
 std::uint64_t Disk::size(const File& f) const {
   if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::size: closed file");
   std::lock_guard<std::mutex> lock(mutex_);
@@ -78,16 +108,30 @@ void Disk::charge_locked(const File& f, std::uint64_t offset,
   if (d > util::Duration::zero()) std::this_thread::sleep_for(d);
 }
 
-std::size_t Disk::read(const File& f, std::uint64_t offset,
-                       std::span<std::byte> out) {
-  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::read: closed file");
+std::size_t Disk::read_once(const File& f, std::uint64_t offset,
+                            std::span<std::byte> out, bool* injected_short) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (injector_ && injector_->fire(fault::kDiskReadError, fault_node_)) {
+    throw fault::TransientError("fg::pdm::Disk::read: injected I/O error on " +
+                                f.name());
+  }
+  std::span<std::byte> span = out;
+  if (injector_ && out.size() > 1 &&
+      injector_->fire(fault::kDiskReadShort, fault_node_)) {
+    span = out.first(out.size() / 2);
+    *injected_short = true;
+  }
   if (::fseeko(f.f_, static_cast<off_t>(offset), SEEK_SET) != 0) {
     throw std::runtime_error("fg::pdm::Disk::read: seek failed on " + f.name());
   }
-  const std::size_t n = std::fread(out.data(), 1, out.size(), f.f_);
-  if (n != out.size() && std::ferror(f.f_)) {
-    throw std::runtime_error("fg::pdm::Disk::read: read failed on " + f.name());
+  const std::size_t n = std::fread(span.data(), 1, span.size(), f.f_);
+  if (n != span.size()) {
+    if (std::ferror(f.f_)) {
+      std::clearerr(f.f_);
+      throw std::runtime_error("fg::pdm::Disk::read: read failed on " +
+                               f.name());
+    }
+    *injected_short = false;  // real EOF inside the span wins
   }
   ++stats_.read_ops;
   stats_.bytes_read += n;
@@ -95,22 +139,111 @@ std::size_t Disk::read(const File& f, std::uint64_t offset,
   return n;
 }
 
-void Disk::write(const File& f, std::uint64_t offset,
-                 std::span<const std::byte> data) {
-  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::write: closed file");
+std::size_t Disk::read(const File& f, std::uint64_t offset,
+                       std::span<std::byte> out) {
+  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::read: closed file");
+  const util::RetryPolicy policy = retry_policy();
+  util::RetryStats local;
+  std::size_t total = 0;
+  int failures = 0;
+  bool retried = false;
+  for (;;) {
+    ++local.attempts;
+    bool injected_short = false;
+    try {
+      total += read_once(f, offset + total, out.subspan(total), &injected_short);
+    } catch (const fault::TransientError&) {
+      if (++failures >= policy.max_attempts) {
+        ++local.exhausted;
+        std::lock_guard<std::mutex> lock(mutex_);
+        retry_stats_.merge(local);
+        throw;
+      }
+      ++local.retries;
+      retried = true;
+      // Back off outside the spindle mutex so other threads keep the disk.
+      std::this_thread::sleep_for(policy.backoff(failures, offset + total));
+      continue;
+    }
+    failures = 0;  // a completed transfer resets the consecutive count
+    if (injected_short && total < out.size()) {
+      ++local.retries;  // pick up where the truncated transfer stopped
+      retried = true;
+      continue;
+    }
+    if (retried) ++local.absorbed;
+    std::lock_guard<std::mutex> lock(mutex_);
+    retry_stats_.merge(local);
+    return total;
+  }
+}
+
+std::size_t Disk::write_once(const File& f, std::uint64_t offset,
+                             std::span<const std::byte> data,
+                             bool* injected_short) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (injector_ && injector_->fire(fault::kDiskWriteError, fault_node_)) {
+    throw fault::TransientError("fg::pdm::Disk::write: injected I/O error on " +
+                                f.name());
+  }
+  std::span<const std::byte> span = data;
+  if (injector_ && data.size() > 1 &&
+      injector_->fire(fault::kDiskWriteShort, fault_node_)) {
+    span = data.first(data.size() / 2);
+    *injected_short = true;
+  }
   if (::fseeko(f.f_, static_cast<off_t>(offset), SEEK_SET) != 0) {
     throw std::runtime_error("fg::pdm::Disk::write: seek failed on " +
                              f.name());
   }
-  const std::size_t n = std::fwrite(data.data(), 1, data.size(), f.f_);
-  if (n != data.size()) {
+  const std::size_t n = std::fwrite(span.data(), 1, span.size(), f.f_);
+  if (n != span.size()) {
     throw std::runtime_error("fg::pdm::Disk::write: write failed on " +
                              f.name());
   }
   ++stats_.write_ops;
   stats_.bytes_written += n;
   charge_locked(f, offset, n);
+  return n;
+}
+
+void Disk::write(const File& f, std::uint64_t offset,
+                 std::span<const std::byte> data) {
+  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::write: closed file");
+  const util::RetryPolicy policy = retry_policy();
+  util::RetryStats local;
+  std::size_t total = 0;
+  int failures = 0;
+  bool retried = false;
+  for (;;) {
+    ++local.attempts;
+    bool injected_short = false;
+    try {
+      total +=
+          write_once(f, offset + total, data.subspan(total), &injected_short);
+    } catch (const fault::TransientError&) {
+      if (++failures >= policy.max_attempts) {
+        ++local.exhausted;
+        std::lock_guard<std::mutex> lock(mutex_);
+        retry_stats_.merge(local);
+        throw;
+      }
+      ++local.retries;
+      retried = true;
+      std::this_thread::sleep_for(policy.backoff(failures, offset + total));
+      continue;
+    }
+    failures = 0;
+    if (injected_short && total < data.size()) {
+      ++local.retries;  // finish the truncated transfer
+      retried = true;
+      continue;
+    }
+    if (retried) ++local.absorbed;
+    std::lock_guard<std::mutex> lock(mutex_);
+    retry_stats_.merge(local);
+    return;
+  }
 }
 
 IoStats Disk::stats() const {
@@ -121,6 +254,7 @@ IoStats Disk::stats() const {
 void Disk::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_ = IoStats{};
+  retry_stats_ = util::RetryStats{};
 }
 
 }  // namespace fg::pdm

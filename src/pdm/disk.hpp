@@ -17,6 +17,7 @@
 #pragma once
 
 #include "util/latency.hpp"
+#include "util/retry.hpp"
 
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +26,10 @@
 #include <mutex>
 #include <span>
 #include <string>
+
+namespace fg::fault {
+class Injector;
+}  // namespace fg::fault
 
 namespace fg::pdm {
 
@@ -102,12 +107,46 @@ class Disk {
     return seek_aware_;
   }
 
+  /// Attach a fault injector: read/write consult the disk.* sites on
+  /// every operation and translate a firing into a transient EIO or a
+  /// short transfer.  `node` tags this disk's operations for @node-scoped
+  /// rules.  Pass nullptr to detach.  The injector must outlive the disk.
+  void set_fault_injector(fault::Injector* inj, int node = -1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injector_ = inj;
+    fault_node_ = node;
+  }
+
+  /// How read/write respond to transient failures.  The default policy
+  /// (no retries) propagates every failure, which is what logic tests
+  /// want; chaos runs install util::RetryPolicy::standard().
+  void set_retry_policy(util::RetryPolicy p) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retry_policy_ = p;
+  }
+  util::RetryPolicy retry_policy() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retry_policy_;
+  }
+
+  /// What the retry layer absorbed since construction / reset_stats().
+  util::RetryStats retry_stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retry_stats_;
+  }
+
   /// Create (truncate) a file for read/write.
   File create(const std::string& name);
   /// Open an existing file for read/write; throws if missing.
   File open(const std::string& name);
   bool exists(const std::string& name) const;
   void remove(const std::string& name);
+
+  /// Flush and close `f`, throwing if either step fails — the checked
+  /// path for files whose buffered writes matter.  Idempotent: closing an
+  /// already-closed handle is a no-op.  (The File destructor remains a
+  /// best-effort fallback that logs, rather than loses, a close failure.)
+  void close(File& f);
 
   /// Current size in bytes.
   std::uint64_t size(const File& f) const;
@@ -125,6 +164,14 @@ class Disk {
 
  private:
   void charge_locked(const File& f, std::uint64_t offset, std::size_t bytes);
+  /// One physical attempt.  Sets *injected_short when an armed
+  /// disk.*.short site truncated the transfer and the truncated span was
+  /// fully satisfied (a real EOF inside the span wins and clears it).
+  std::size_t read_once(const File& f, std::uint64_t offset,
+                        std::span<std::byte> out, bool* injected_short);
+  std::size_t write_once(const File& f, std::uint64_t offset,
+                         std::span<const std::byte> data,
+                         bool* injected_short);
 
   std::filesystem::path dir_;
   util::LatencyModel model_;
@@ -133,6 +180,10 @@ class Disk {
   bool seek_aware_{false};
   const std::FILE* last_file_{nullptr};  ///< head position: file...
   std::uint64_t last_end_{0};            ///< ...and the byte after last op
+  fault::Injector* injector_{nullptr};
+  int fault_node_{-1};
+  util::RetryPolicy retry_policy_{};
+  util::RetryStats retry_stats_;
 };
 
 }  // namespace fg::pdm

@@ -48,6 +48,26 @@ class Workspace {
     for (auto& d : disks_) d->set_seek_aware(on);
   }
 
+  /// Attach one fault injector to every disk; node i's disk reports its
+  /// operations as node i so @node-scoped rules work.  nullptr detaches.
+  void set_fault_injector(fault::Injector* inj) {
+    for (int i = 0; i < nodes(); ++i) {
+      disks_[static_cast<std::size_t>(i)]->set_fault_injector(inj, i);
+    }
+  }
+
+  /// Install the same retry policy on every disk.
+  void set_retry_policy(util::RetryPolicy p) {
+    for (auto& d : disks_) d->set_retry_policy(p);
+  }
+
+  /// Aggregate retry counters across all disks (for the stats export).
+  util::RetryStats total_retry_stats() const {
+    util::RetryStats total;
+    for (const auto& d : disks_) total.merge(d->retry_stats());
+    return total;
+  }
+
  private:
   std::filesystem::path root_;
   std::vector<std::unique_ptr<Disk>> disks_;

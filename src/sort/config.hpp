@@ -46,6 +46,13 @@ struct SortConfig {
   std::uint64_t seed{1};
   Distribution dist{Distribution::kUniform};
 
+  /// Stall watchdog window for every pipeline graph the run builds, in
+  /// milliseconds; 0 disables it.  When armed, a pipeline that makes no
+  /// progress for this long aborts the whole cluster run with a
+  /// PipelineStalled diagnostic instead of hanging.  Must exceed the
+  /// longest single modeled operation by a comfortable margin.
+  std::uint32_t watchdog_ms{0};
+
   /// csort matrix geometry (rows r, columns s).  Zero means "choose
   /// automatically for `records`"; if set, r*s must equal `records`.
   std::uint64_t csort_r{0};

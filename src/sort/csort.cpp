@@ -5,6 +5,7 @@
 #include "sort/kernels.hpp"
 #include "util/timer.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <mutex>
 #include <numeric>
@@ -103,6 +104,15 @@ std::size_t p3_recv_capacity(const Geo& g, std::uint32_t block_records) {
       g.r / block_records + 4ULL * static_cast<std::uint64_t>(g.p) + 16;
   return static_cast<std::size_t>(recs * g.rec + chunks * 12 +
                                   static_cast<std::uint64_t>(g.p) * 8);
+}
+
+void arm_watchdog(PipelineGraph& graph, const SortConfig& cfg,
+                  comm::Fabric& fabric) {
+  if (cfg.watchdog_ms == 0) return;
+  graph.set_watchdog(std::chrono::milliseconds(cfg.watchdog_ms));
+  // Stages block inside fabric collectives; a stalled run must abort the
+  // fabric too, or the blocked workers would never unwind.
+  graph.set_abort_hook([&fabric] { fabric.abort(); });
 }
 
 }  // namespace
@@ -227,11 +237,14 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(permute);
       pl.add_stage(communicate);
       pl.add_stage(write);
+      arm_watchdog(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
         merge_stage_stats(result.stage_totals, graph.stats());
       }
+      disk.close(p1);
+      disk.close(input);
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }
@@ -320,11 +333,14 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(permute);
       pl.add_stage(communicate);
       pl.add_stage(write);
+      arm_watchdog(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
         merge_stage_stats(result.stage_totals, graph.stats());
       }
+      disk.close(p2);
+      disk.close(p1);
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }
@@ -471,11 +487,14 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(sort_stage);
       pl.add_stage(communicate);
       pl.add_stage(write);
+      arm_watchdog(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
         merge_stage_stats(result.stage_totals, graph.stats());
       }
+      disk.close(out);
+      disk.close(p2);
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }

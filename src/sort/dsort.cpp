@@ -6,6 +6,7 @@
 #include "sort/splitters.hpp"
 #include "util/timer.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <mutex>
 #include <queue>
@@ -145,6 +146,15 @@ void check_config(const comm::Cluster& cluster, const pdm::Workspace& ws,
   }
 }
 
+void arm_watchdog(PipelineGraph& graph, const SortConfig& cfg,
+                  comm::Fabric& fabric) {
+  if (cfg.watchdog_ms == 0) return;
+  graph.set_watchdog(std::chrono::milliseconds(cfg.watchdog_ms));
+  // Stages of these graphs block inside fabric calls, which queue aborts
+  // cannot wake; a stalled run must also abort the fabric to unwind.
+  graph.set_abort_hook([&fabric] { fabric.abort(); });
+}
+
 }  // namespace
 
 SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
@@ -171,6 +181,7 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       pdm::File input = disk.open(cfg.input_name);
       states[static_cast<std::size_t>(me)].splitters =
           select_splitters(fabric, me, disk, input, cfg);
+      disk.close(input);
     });
     result.times.sampling = sw.elapsed_seconds();
   }
@@ -312,11 +323,16 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       rp.add_stage(sort_stage);
       rp.add_stage(write);
 
+      arm_watchdog(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
         merge_stage_stats(result.stage_totals, graph.stats());
       }
+      // Checked close: the runs file carries this pass's output, so a
+      // buffered-write failure must surface here, not vanish in a dtor.
+      disk.close(runs_file);
+      disk.close(input);
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }
@@ -449,11 +465,14 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       rp.add_stage(receive);
       rp.add_stage(write);
 
+      arm_watchdog(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
         merge_stage_stats(result.stage_totals, graph.stats());
       }
+      disk.close(out_file);
+      disk.close(runs_file);
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }

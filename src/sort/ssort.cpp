@@ -56,6 +56,7 @@ SortResult run_ssort(comm::Cluster& cluster, pdm::Workspace& ws,
       pdm::File input = disk.open(cfg.input_name);
       states[static_cast<std::size_t>(me)].splitters =
           select_splitters(fabric, me, disk, input, cfg);
+      disk.close(input);
     });
     result.times.sampling = sw.elapsed_seconds();
   }
@@ -141,6 +142,8 @@ SortResult run_ssort(comm::Cluster& cluster, pdm::Workspace& ws,
       for (int d = 0; d < p; ++d) fabric.send(me, d, kTagDone, {});
       drain(/*block=*/true);
       flush_run(acc_fill);
+      disk.close(runs_file);
+      disk.close(input);
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }
@@ -251,6 +254,8 @@ SortResult run_ssort(comm::Cluster& cluster, pdm::Workspace& ws,
       if (oi) ship(oi);
       for (int d = 0; d < p; ++d) fabric.send(me, d, kTagOutDone, {});
       drain(/*block=*/true);
+      disk.close(out_file);
+      disk.close(runs_file);
     });
     result.times.passes.push_back(sw.elapsed_seconds());
   }

@@ -1,0 +1,87 @@
+// Bounded retry with exponential backoff, shared by the latency-bearing
+// layers.  A layer that owns a RetryPolicy re-issues operations that fail
+// with a *transient* error (fault::TransientError — the simulated EIO /
+// flaky-transfer class) up to max_attempts times, sleeping an
+// exponentially growing, jittered backoff between attempts.  Anything
+// else is permanent and propagates immediately.
+//
+// The jitter is deterministic: a pure function of (seed, salt, attempt),
+// so a seeded chaos run replays with identical sleep schedules.
+#pragma once
+
+#include "util/latency.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace fg::util {
+
+struct RetryPolicy {
+  int max_attempts{1};  ///< total attempts; 1 = fail on first error
+  Duration base_backoff{std::chrono::microseconds(200)};
+  double multiplier{2.0};
+  Duration max_backoff{std::chrono::milliseconds(20)};
+  double jitter{0.25};    ///< backoff scaled by uniform [1-jitter, 1+jitter]
+  std::uint64_t seed{0};  ///< jitter determinism
+
+  /// No retries at all (the default: logic tests see every failure).
+  static RetryPolicy none() noexcept { return RetryPolicy{}; }
+
+  /// The standard recovery stance for chaos runs.
+  static RetryPolicy standard(int attempts = 4,
+                              std::uint64_t seed = 0) noexcept {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    p.seed = seed;
+    return p;
+  }
+
+  /// Sleep before re-attempt number `failure` (1-based: the backoff after
+  /// the failure-th consecutive failure).  `salt` distinguishes call
+  /// sites (e.g. the file offset) so concurrent retries don't thunder in
+  /// lockstep.
+  Duration backoff(int failure, std::uint64_t salt) const noexcept {
+    if (failure < 1) failure = 1;
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(base_backoff)
+            .count());
+    for (int i = 1; i < failure; ++i) ns *= multiplier;
+    const double cap = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(max_backoff)
+            .count());
+    ns = std::min(ns, cap);
+    if (jitter > 0.0) {
+      const std::uint64_t bits =
+          mix64(seed ^ mix64(salt) ^ static_cast<std::uint64_t>(failure));
+      const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0,1)
+      ns *= 1.0 + jitter * (2.0 * u - 1.0);
+    }
+    if (ns < 0.0) ns = 0.0;
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(ns)));
+  }
+};
+
+/// What a retrying layer absorbed (or failed to).  One per layer; the
+/// drivers aggregate these into the run's JSON export.
+struct RetryStats {
+  std::uint64_t attempts{0};   ///< raw operation attempts, retries included
+  std::uint64_t retries{0};    ///< re-issues after a transient failure or
+                               ///< an injected short transfer
+  std::uint64_t absorbed{0};   ///< operations that succeeded after >=1 retry
+  std::uint64_t exhausted{0};  ///< operations abandoned at max_attempts
+
+  void merge(const RetryStats& o) noexcept {
+    attempts += o.attempts;
+    retries += o.retries;
+    absorbed += o.absorbed;
+    exhausted += o.exhausted;
+  }
+  bool any() const noexcept {
+    return attempts != 0 || retries != 0 || absorbed != 0 || exhausted != 0;
+  }
+};
+
+}  // namespace fg::util

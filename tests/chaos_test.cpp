@@ -1,0 +1,332 @@
+// Chaos tests: the sorting programs and the pipeline runtime under
+// seeded fault injection.  Three behaviours are pinned down:
+//
+//  * transient faults are absorbed — dsort/csort still produce sorted
+//    output and the retry counters show work was redone;
+//  * permanent faults abort cleanly — the run throws within the watchdog
+//    window and every pipeline buffer is accounted for;
+//  * a stalled pipeline is diagnosed — the watchdog names the blocked
+//    workers and their queues instead of letting the run hang.
+//
+// Every test derives its schedule from one seed so a failure is
+// replayable: FG_CHAOS_SEED=<n> reruns the whole binary under a
+// different (still deterministic) schedule; the CI soak loops over ten.
+#include "comm/cluster.hpp"
+#include "core/fg.hpp"
+#include "sort/csort.hpp"
+#include "sort/dataset.hpp"
+#include "sort/dsort.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace fg {
+namespace {
+
+std::uint64_t chaos_seed() {
+  if (const char* s = std::getenv("FG_CHAOS_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 42;
+}
+
+sort::SortConfig small_sort_config() {
+  sort::SortConfig cfg;
+  cfg.nodes = 4;
+  cfg.records = 8000;
+  cfg.record_bytes = 16;
+  cfg.block_records = 64;
+  cfg.buffer_records = 256;
+  cfg.num_buffers = 3;
+  cfg.merge_buffer_records = 64;
+  cfg.merge_num_buffers = 2;
+  cfg.out_buffer_records = 256;
+  cfg.oversample = 32;
+  cfg.seed = chaos_seed();
+  // Generous: the window only has to beat a genuine hang, and the suite
+  // runs under sanitizers.
+  cfg.watchdog_ms = 60000;
+  return cfg;
+}
+
+/// Arm the classic transient schedule on every substrate of a run.
+void arm_transient(fault::Injector& inj) {
+  inj.arm(fault::kDiskReadError, fault::Rule::every_nth(5));
+  inj.arm(fault::kDiskWriteError, fault::Rule::every_nth(7));
+  inj.arm(fault::kDiskReadShort, fault::Rule::every_nth(11));
+  inj.arm(fault::kDiskWriteShort, fault::Rule::every_nth(13));
+  inj.arm(fault::kFabricDelay, fault::Rule::with_probability(0.05));
+}
+
+// -- transient faults are absorbed ------------------------------------------
+
+TEST(ChaosDsort, TransientFaultsAbsorbed) {
+  sort::SortConfig cfg = small_sort_config();
+  pdm::Workspace ws(cfg.nodes);
+  comm::Cluster cluster(cfg.nodes);
+  sort::generate_input(ws, cfg);
+
+  fault::Injector inj(cfg.seed);
+  arm_transient(inj);
+  ws.set_fault_injector(&inj);
+  ws.set_retry_policy(util::RetryPolicy::standard(8, cfg.seed));
+  cluster.fabric().set_fault_injector(&inj);
+
+  const sort::SortResult r = sort::run_dsort(cluster, ws, cfg);
+  ws.set_fault_injector(nullptr);
+  cluster.fabric().set_fault_injector(nullptr);
+
+  EXPECT_EQ(r.records, cfg.records);
+  const sort::VerifyResult v = sort::verify_output(ws, cfg);
+  EXPECT_TRUE(v.sorted);
+  EXPECT_TRUE(v.permutation);
+
+  const util::RetryStats rs = ws.total_retry_stats();
+  EXPECT_GT(inj.total_fired(), 0u);
+  EXPECT_GT(rs.absorbed, 0u) << "no fault ever needed a retry";
+  EXPECT_EQ(rs.exhausted, 0u);
+}
+
+TEST(ChaosCsort, TransientFaultsAbsorbed) {
+  sort::SortConfig cfg = small_sort_config();
+  cfg.records = sort::csort_compatible_records(cfg.records, cfg.nodes,
+                                               cfg.block_records);
+  pdm::Workspace ws(cfg.nodes);
+  comm::Cluster cluster(cfg.nodes);
+  sort::generate_input(ws, cfg);
+
+  fault::Injector inj(cfg.seed);
+  arm_transient(inj);
+  ws.set_fault_injector(&inj);
+  ws.set_retry_policy(util::RetryPolicy::standard(8, cfg.seed));
+  cluster.fabric().set_fault_injector(&inj);
+
+  const sort::SortResult r = sort::run_csort(cluster, ws, cfg);
+  ws.set_fault_injector(nullptr);
+  cluster.fabric().set_fault_injector(nullptr);
+
+  EXPECT_EQ(r.records, cfg.records);
+  EXPECT_TRUE(sort::verify_output(ws, cfg).ok());
+  const util::RetryStats rs = ws.total_retry_stats();
+  EXPECT_GT(rs.absorbed, 0u);
+  EXPECT_EQ(rs.exhausted, 0u);
+}
+
+// -- permanent faults abort cleanly -----------------------------------------
+
+TEST(ChaosDsort, PermanentFaultAbortsRun) {
+  sort::SortConfig cfg = small_sort_config();
+  pdm::Workspace ws(cfg.nodes);
+  comm::Cluster cluster(cfg.nodes);
+  sort::generate_input(ws, cfg);
+
+  fault::Injector inj(cfg.seed);
+  // Let the run get going, then fail every write on every disk, forever:
+  // no retry budget survives that.
+  inj.arm(fault::kDiskWriteError, fault::Rule::always_after(20));
+  ws.set_fault_injector(&inj);
+  ws.set_retry_policy(util::RetryPolicy::standard(3, cfg.seed));
+  cluster.fabric().set_fault_injector(&inj);
+
+  // The run throws (instead of hanging: the graph's abort hook tears down
+  // the fabric so workers blocked in collectives unwind too) and the
+  // exhausted counter records the failed operation.
+  EXPECT_THROW(sort::run_dsort(cluster, ws, cfg), fault::TransientError);
+  EXPECT_GT(ws.total_retry_stats().exhausted, 0u);
+}
+
+TEST(Chaos, PermanentDiskFaultPreservesBufferCustody) {
+  pdm::Workspace ws(1);
+  pdm::Disk& disk = ws.disk(0);
+  pdm::File f = disk.create("victim");
+  std::vector<std::byte> payload(4096, std::byte{0x5a});
+  disk.write(f, 0, payload);
+
+  fault::Injector inj(chaos_seed());
+  inj.arm(fault::kDiskReadError, fault::Rule::always_after(2));
+  disk.set_fault_injector(&inj, 0);
+  disk.set_retry_policy(util::RetryPolicy::standard(2, chaos_seed()));
+
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.name = "reader";
+  pc.num_buffers = 3;
+  pc.buffer_bytes = 256;
+  pc.rounds = 16;
+  auto& p = g.add_pipeline(pc);
+  MapStage read("read", [&](Buffer& b) {
+    disk.read(f, b.round() * 256, b.data().first(256));
+    b.set_size(256);
+    return StageAction::kConvey;
+  });
+  p.add_stage(read);
+
+  EXPECT_THROW(g.run(), fault::TransientError);
+  for (const BufferAudit& a : g.audit_buffers()) {
+    EXPECT_EQ(a.accounted(), a.pool);
+  }
+  disk.set_fault_injector(nullptr, 0);
+}
+
+TEST(Chaos, InjectedStageThrowPreservesCustody) {
+  fault::Injector inj(chaos_seed());
+  inj.arm(fault::kStageThrow, fault::Rule::one_shot(5));
+
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.name = "wrapped";
+  pc.num_buffers = 3;
+  pc.buffer_bytes = 64;
+  pc.rounds = 40;
+  auto& p = g.add_pipeline(pc);
+  // The test-stage wrapper: the stage body itself stays oblivious.
+  MapStage work("work", fault::guarded(inj, fault::kStageThrow, -1,
+                                       [](Buffer&) {
+                                         return StageAction::kConvey;
+                                       }));
+  p.add_stage(work);
+
+  EXPECT_THROW(g.run(), fault::InjectedFault);
+  EXPECT_EQ(inj.site_stats(fault::kStageThrow).fired, 1u);
+  for (const BufferAudit& a : g.audit_buffers()) {
+    EXPECT_EQ(a.accounted(), a.pool);
+  }
+}
+
+// -- the stall watchdog -----------------------------------------------------
+
+/// A custom stage that accepts buffers and never lets go: once the pool
+/// is drained, the whole pipeline is wedged — source starved, stage
+/// blocked in accept — exactly the deadlock the watchdog exists to name.
+struct HoardStage final : Stage {
+  HoardStage() : Stage("hoard") {}
+  void run(StageContext& ctx) override {
+    while (ctx.accept() != nullptr) {
+      // keep it; the runtime reclaims custody when the run aborts
+    }
+  }
+};
+
+TEST(Chaos, WatchdogNamesStalledWorkers) {
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.name = "wedged";
+  pc.num_buffers = 3;
+  pc.buffer_bytes = 64;
+  pc.rounds = 100;
+  auto& p = g.add_pipeline(pc);
+  HoardStage hoard;
+  p.add_stage(hoard);
+  g.set_watchdog(std::chrono::milliseconds(400));
+
+  try {
+    g.run();
+    FAIL() << "expected PipelineStalled";
+  } catch (const PipelineStalled& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("blocked"), std::string::npos) << what;
+    EXPECT_NE(what.find("queue"), std::string::npos) << what;
+  }
+  // The hoarded buffers were parked during unwind: full custody.
+  for (const BufferAudit& a : g.audit_buffers()) {
+    EXPECT_EQ(a.accounted(), a.pool);
+  }
+}
+
+TEST(Chaos, WatchdogStaysQuietOnHealthyRuns) {
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.name = "healthy";
+  pc.num_buffers = 2;
+  pc.buffer_bytes = 64;
+  pc.rounds = 200;
+  auto& p = g.add_pipeline(pc);
+  int seen = 0;
+  MapStage count("count", [&](Buffer&) {
+    ++seen;
+    return StageAction::kConvey;
+  });
+  p.add_stage(count);
+  g.set_watchdog(std::chrono::seconds(30));
+  EXPECT_NO_THROW(g.run());
+  EXPECT_EQ(seen, 200);
+}
+
+// -- node crash -------------------------------------------------------------
+
+TEST(ChaosCluster, NodeCrashUnwindsSurvivors) {
+  const int p = 4;
+  comm::Cluster cluster(p);
+  fault::Injector inj(chaos_seed());
+  inj.arm(fault::kFabricCrash, fault::Rule::one_shot(1).on_node(2));
+  cluster.fabric().set_fault_injector(&inj);
+
+  std::atomic<int> unwound{0};
+  try {
+    cluster.run([&](comm::NodeId me) {
+      try {
+        for (int round = 0; round < 1000; ++round) {
+          cluster.fabric().barrier(me);
+        }
+      } catch (...) {
+        ++unwound;
+        throw;
+      }
+    });
+    FAIL() << "expected FabricNodeCrashed";
+  } catch (const comm::FabricNodeCrashed& e) {
+    EXPECT_EQ(e.node, 2);
+  }
+  // No node hung: the crashed node threw, the others were aborted awake.
+  EXPECT_EQ(unwound.load(), p);
+  EXPECT_TRUE(cluster.fabric().crashed(2));
+  EXPECT_FALSE(cluster.fabric().crashed(0));
+}
+
+// -- determinism and the spec grammar ---------------------------------------
+
+TEST(ChaosInjector, SeededFiringIsReproducible) {
+  auto pattern = [](std::uint64_t seed) {
+    fault::Injector inj(seed);
+    inj.arm("site", fault::Rule::with_probability(0.3));
+    std::vector<bool> fired;
+    for (int i = 0; i < 400; ++i) fired.push_back(inj.fire("site"));
+    return fired;
+  };
+  EXPECT_EQ(pattern(7), pattern(7));
+  EXPECT_NE(pattern(7), pattern(8));
+}
+
+TEST(ChaosInjector, SpecGrammarRoundTrips) {
+  fault::Injector inj(1);
+  fault::apply_spec(inj,
+                    "disk.read.error=nth:40x3;"
+                    "fabric.crash=once:25@3;"
+                    "disk.write.error=always+200");
+  for (int op = 1; op <= 200; ++op) {
+    const bool expect = (op % 40 == 0) && op <= 120;  // x3 caps at op 120
+    EXPECT_EQ(inj.fire(fault::kDiskReadError), expect) << "op " << op;
+  }
+  for (int op = 1; op <= 30; ++op) {
+    EXPECT_EQ(inj.fire(fault::kFabricCrash, 3), op == 25);
+    EXPECT_FALSE(inj.fire(fault::kFabricCrash, 1));  // other nodes exempt
+  }
+  for (int op = 1; op <= 210; ++op) {
+    EXPECT_EQ(inj.fire(fault::kDiskWriteError), op > 200);
+  }
+
+  fault::Injector bad(1);
+  EXPECT_THROW(fault::apply_spec(bad, "no-equals-sign"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::apply_spec(bad, "site=nth:"), std::invalid_argument);
+  EXPECT_THROW(fault::apply_spec(bad, "site=p:nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fg

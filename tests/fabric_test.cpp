@@ -2,11 +2,13 @@
 // wildcards, FIFO per channel, truncation errors), the latency model's
 // delivery-time behaviour, collectives, abort, and traffic accounting.
 #include "comm/fabric.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <numeric>
@@ -379,6 +381,142 @@ TEST(Collectives, AllreduceSum) {
     EXPECT_EQ(got[static_cast<std::size_t>(me)][0], 1u + 2u + 3u);
     EXPECT_EQ(got[static_cast<std::size_t>(me)][1], 30u);
   }
+}
+
+// -- abort while blocked in collectives -------------------------------------
+//
+// Stages routinely sit inside barrier/alltoallv/sendrecv_replace when a
+// sibling fails; abort() must wake every one of them with FabricAborted
+// or teardown deadlocks.
+
+TEST(CollectiveAbort, AbortWakesBarrier) {
+  const int p = 4;
+  Fabric f(p);
+  std::atomic<int> woken{0};
+  std::vector<std::thread> t;
+  for (NodeId n = 1; n < p; ++n) {
+    t.emplace_back([&, n] {
+      EXPECT_THROW(f.barrier(n), FabricAborted);
+      ++woken;
+    });
+  }
+  // Node 0 never arrives, so the others are parked inside the barrier.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  f.abort();
+  for (auto& th : t) th.join();
+  EXPECT_EQ(woken.load(), p - 1);
+}
+
+TEST(CollectiveAbort, AbortWakesAlltoallv) {
+  const int p = 3;
+  Fabric f(p);
+  std::atomic<int> woken{0};
+  std::vector<std::thread> t;
+  for (NodeId n = 1; n < p; ++n) {
+    t.emplace_back([&, n] {
+      std::vector<std::byte> mine(4);
+      std::vector<std::span<const std::byte>> send(
+          static_cast<std::size_t>(p), std::span<const std::byte>(mine));
+      std::vector<std::byte> recv(64);
+      // Blocks receiving node 0's contribution, which never comes.
+      EXPECT_THROW(f.alltoallv(n, send, recv), FabricAborted);
+      ++woken;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  f.abort();
+  for (auto& th : t) th.join();
+  EXPECT_EQ(woken.load(), p - 1);
+}
+
+TEST(CollectiveAbort, AbortWakesSendrecvReplace) {
+  Fabric f(2);
+  std::thread t([&] {
+    std::uint64_t v = 1;
+    // Partner never sends back: blocked in the receive half.
+    EXPECT_THROW(
+        f.sendrecv_replace(0, 1, 1, 4, {reinterpret_cast<std::byte*>(&v), 8}),
+        FabricAborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  f.abort();
+  t.join();
+}
+
+// -- receive deadlines ------------------------------------------------------
+
+TEST(Deadline, RecvTimesOutInsteadOfHanging) {
+  Fabric f(2);
+  f.set_recv_deadline(std::chrono::milliseconds(60));
+  std::vector<std::byte> buf(4);
+  util::Stopwatch sw;
+  EXPECT_THROW(f.recv(1, 0, 1, buf), FabricTimeout);
+  EXPECT_GE(sw.elapsed_seconds(), 0.05);
+}
+
+TEST(Deadline, DeliveredMessageBeatsDeadline) {
+  Fabric f(2);
+  f.set_recv_deadline(std::chrono::seconds(10));
+  f.send(0, 1, 1, bytes_of("ok"));
+  std::vector<std::byte> buf(4);
+  const RecvResult r = f.recv(1, 0, 1, buf);
+  EXPECT_EQ(string_of(buf, r.bytes), "ok");
+}
+
+TEST(Deadline, DroppedMessageSurfacesAsTimeout) {
+  Fabric f(2);
+  fault::Injector inj(9);
+  inj.arm(fault::kFabricDrop, fault::Rule::every_nth(1));
+  f.set_fault_injector(&inj);
+  f.set_recv_deadline(std::chrono::milliseconds(60));
+  f.send(0, 1, 1, bytes_of("lost"));
+  EXPECT_EQ(f.stats(0).messages_dropped, 1u);
+  std::vector<std::byte> buf(8);
+  // The drop is invisible to the receiver except as silence; the deadline
+  // turns that silence into a diagnosable failure.
+  EXPECT_THROW(f.recv(1, 0, 1, buf), FabricTimeout);
+  f.set_fault_injector(nullptr);
+}
+
+TEST(Deadline, SelfSendsAreNeverDropped) {
+  Fabric f(2);
+  fault::Injector inj(9);
+  inj.arm(fault::kFabricDrop, fault::Rule::every_nth(1));
+  f.set_fault_injector(&inj);
+  f.send(0, 0, 1, bytes_of("x"));
+  std::vector<std::byte> buf(4);
+  EXPECT_EQ(f.recv(0, 0, 1, buf).bytes, 1u);
+  f.set_fault_injector(nullptr);
+}
+
+TEST(Injection, DelaySpikeDefersDelivery) {
+  Fabric f(2);
+  fault::Injector inj(9);
+  inj.arm(fault::kFabricDelay, fault::Rule::every_nth(1));
+  f.set_fault_injector(&inj);
+  f.set_delay_spike(std::chrono::milliseconds(80));
+  util::Stopwatch sw;
+  f.send(0, 1, 1, bytes_of("slow"));
+  std::vector<std::byte> buf(8);
+  f.recv(1, 0, 1, buf);
+  EXPECT_GE(sw.elapsed_seconds(), 0.07);
+  f.set_fault_injector(nullptr);
+}
+
+TEST(Injection, CrashedNodeThrowsAndStaysDown) {
+  Fabric f(3);
+  fault::Injector inj(9);
+  inj.arm(fault::kFabricCrash, fault::Rule::one_shot(1).on_node(1));
+  f.set_fault_injector(&inj);
+  EXPECT_THROW(f.send(1, 0, 1, bytes_of("x")), FabricNodeCrashed);
+  EXPECT_TRUE(f.crashed(1));
+  // Permanently down, even with the injector detached.
+  f.set_fault_injector(nullptr);
+  std::vector<std::byte> buf(4);
+  EXPECT_THROW(f.recv(1, 0, 1, buf), FabricNodeCrashed);
+  // Survivors keep talking.
+  f.send(0, 2, 1, bytes_of("on"));
+  EXPECT_EQ(f.recv(2, 0, 1, buf).bytes, 2u);
 }
 
 TEST(Collectives, SingleNodeDegenerates) {

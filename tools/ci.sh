@@ -25,4 +25,16 @@ run_config() {
 run_config release -DCMAKE_BUILD_TYPE=Release -DFG_WERROR=ON
 run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFG_SANITIZE=thread
 
+# Chaos soak: replay the fault-injection suite under TSan with ten
+# distinct seeds.  Injection schedules are a pure function of the seed,
+# so each iteration exercises a different (but reproducible) failure
+# pattern; a seed that breaks here reproduces locally with
+# FG_CHAOS_SEED=<seed> build-ci-tsan/tests/chaos_test.
+echo "==> chaos soak (tsan, 10 seeds)"
+for seed in 1 2 3 5 8 13 21 34 55 89; do
+  echo "==> chaos seed $seed"
+  FG_CHAOS_SEED=$seed "$root/build-ci-tsan/tests/chaos_test" \
+    --gtest_brief=1
+done
+
 echo "==> ci: all configurations passed"

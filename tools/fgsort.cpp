@@ -20,9 +20,16 @@
 //                                        config, phase times, per-stage
 //                                        pipeline stats, per-node traffic)
 //     --keep DIR                        (keep the workspace under DIR)
+//     --fault-spec SPEC                 (arm fault injection; see
+//                                        util/fault.hpp for the grammar,
+//                                        e.g. "disk.read.error=nth:40x3")
+//     --watchdog-ms N                   (abort a run whose pipelines make
+//                                        no progress for N ms; 0 = off)
 #include "core/events.hpp"
 #include "sort/experiment.hpp"
 #include "sort/ssort.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
 
@@ -44,6 +51,7 @@ struct Options {
   bool stats{false};
   std::optional<std::string> stats_json;
   std::optional<std::string> keep_dir;
+  std::optional<std::string> fault_spec;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -51,7 +59,8 @@ struct Options {
                "usage: %s [--program dsort|csort|ssort|all] [--nodes N]\n"
                "          [--records N] [--record-bytes B] [--dist D]\n"
                "          [--seed S] [--latency paper|none] [--seek-aware]\n"
-               "          [--stats] [--stats-json FILE] [--keep DIR]\n",
+               "          [--stats] [--stats-json FILE] [--keep DIR]\n"
+               "          [--fault-spec SPEC] [--watchdog-ms N]\n",
                argv0);
   std::exit(2);
 }
@@ -90,6 +99,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--stats") opt.stats = true;
     else if (a == "--stats-json") opt.stats_json = need(i);
     else if (a == "--keep") opt.keep_dir = need(i);
+    else if (a == "--fault-spec") opt.fault_spec = need(i);
+    else if (a == "--watchdog-ms") opt.cfg.watchdog_ms = static_cast<std::uint32_t>(std::atoi(need(i).c_str()));
     else usage(argv[0]);
   }
   if (opt.program != "dsort" && opt.program != "csort" &&
@@ -114,6 +125,8 @@ struct RunReport {
   double disk_busy_seconds{0};
   std::uint64_t bytes_sent{0};
   std::vector<comm::TrafficStats> traffic;  // per node
+  util::RetryStats disk_retries;
+  std::uint64_t faults_injected{0};
 };
 
 RunReport run_one(const std::string& program, const Options& opt) {
@@ -122,6 +135,7 @@ RunReport run_one(const std::string& program, const Options& opt) {
   sort::SortConfig cfg = opt.cfg;
   cfg.compute_model = lat.compute;
 
+  fault::Injector injector(cfg.seed);
   auto ws = opt.keep_dir
                 ? std::make_unique<pdm::Workspace>(
                       std::filesystem::path(*opt.keep_dir) / program,
@@ -131,7 +145,15 @@ RunReport run_one(const std::string& program, const Options& opt) {
   if (opt.seek_aware) ws->set_seek_aware(true);
   comm::Cluster cluster(cfg.nodes, lat.net);
 
+  // Generate the input on a healthy substrate; faults arm afterwards so
+  // the run under test is the sort itself, not dataset creation.
   sort::generate_input(*ws, cfg);
+  if (opt.fault_spec) {
+    fault::apply_spec(injector, *opt.fault_spec);
+    ws->set_fault_injector(&injector);
+    ws->set_retry_policy(util::RetryPolicy::standard(4, cfg.seed));
+    cluster.fabric().set_fault_injector(&injector);
+  }
   RunReport report;
   report.program = program;
   if (program == "dsort") {
@@ -140,6 +162,14 @@ RunReport run_one(const std::string& program, const Options& opt) {
     report.result = sort::run_csort(cluster, *ws, cfg);
   } else {
     report.result = sort::run_ssort(cluster, *ws, cfg);
+  }
+  if (opt.fault_spec) {
+    report.disk_retries = ws->total_retry_stats();
+    report.faults_injected = injector.total_fired();
+    // Disarm before verification: the output check should observe the
+    // data the run produced, not fresh injected failures.
+    ws->set_fault_injector(nullptr);
+    cluster.fabric().set_fault_injector(nullptr);
   }
   report.verify = sort::verify_output(*ws, cfg);
   for (int n = 0; n < cfg.nodes; ++n) {
@@ -176,6 +206,8 @@ std::string stats_json_blob(const Options& opt,
   w.kv("seed", static_cast<std::uint64_t>(opt.cfg.seed));
   w.kv("latency", opt.paper_latency ? "paper" : "none");
   w.kv("seek_aware", opt.seek_aware);
+  w.kv("watchdog_ms", opt.cfg.watchdog_ms);
+  w.kv("fault_spec", opt.fault_spec ? *opt.fault_spec : std::string{});
   w.end_object();
   w.key("programs");
   w.begin_array();
@@ -195,6 +227,14 @@ std::string stats_json_blob(const Options& opt,
     w.key("stages");
     write_stage_stats_json(w, r.result.stage_totals);
     w.kv("disk_busy_seconds", r.disk_busy_seconds);
+    w.key("disk_retries");
+    w.begin_object();
+    w.kv("attempts", r.disk_retries.attempts);
+    w.kv("retries", r.disk_retries.retries);
+    w.kv("absorbed", r.disk_retries.absorbed);
+    w.kv("exhausted", r.disk_retries.exhausted);
+    w.end_object();
+    w.kv("faults_injected", r.faults_injected);
     w.key("traffic");
     w.begin_object();
     w.key("per_node");
@@ -256,6 +296,14 @@ int main(int argc, char** argv) {
       std::printf("  %-5s disk busy %s  network sent %s\n", r.program.c_str(),
                   util::fmt_seconds(r.disk_busy_seconds).c_str(),
                   util::fmt_bytes(r.bytes_sent).c_str());
+      if (opt.fault_spec) {
+        std::printf("        faults injected %llu  disk retries %llu "
+                    "(absorbed %llu ops, exhausted %llu)\n",
+                    static_cast<unsigned long long>(r.faults_injected),
+                    static_cast<unsigned long long>(r.disk_retries.retries),
+                    static_cast<unsigned long long>(r.disk_retries.absorbed),
+                    static_cast<unsigned long long>(r.disk_retries.exhausted));
+      }
     }
   }
   if (opt.stats_json) {
