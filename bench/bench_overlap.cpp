@@ -8,6 +8,7 @@
 // overlap at all (one buffer ping-pongs through the stages serially);
 // the speedup column of the pool-size sweep is the measured benefit.
 #include "core/fg.hpp"
+#include "obs/session.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -23,7 +24,8 @@ namespace {
 using namespace fg;
 
 double run_pipeline(int stages, std::size_t buffers, std::uint64_t rounds,
-                    std::chrono::microseconds stage_cost) {
+                    std::chrono::microseconds stage_cost,
+                    obs::Session* obs = nullptr) {
   PipelineGraph graph;
   PipelineConfig pc;
   pc.name = "bench";
@@ -40,9 +42,37 @@ double run_pipeline(int stages, std::size_t buffers, std::uint64_t rounds,
         }));
     p.add_stage(*owned.back());
   }
+  if (obs != nullptr) graph.set_observability(obs);
   util::Stopwatch wall;
   graph.run();
   return wall.elapsed_seconds();
+}
+
+/// Tracing overhead on the overlap workload: the acceptance budget for
+/// the span layer is <= 5% of wall time.  Uses the median-free approach
+/// of averaging several runs each way; the workload is sleep-dominated,
+/// so any contention the span layer added would surface directly.
+void report_tracing_overhead() {
+  constexpr std::uint64_t kRounds = 64;
+  constexpr auto kCost = std::chrono::microseconds(2000);
+  constexpr int kStages = 4;
+  constexpr std::size_t kBuffers = 8;
+  constexpr int kReps = 3;
+  double untraced = 0, traced = 0;
+  for (int i = 0; i < kReps; ++i) {
+    untraced += run_pipeline(kStages, kBuffers, kRounds, kCost);
+    obs::Session session;
+    traced += run_pipeline(kStages, kBuffers, kRounds, kCost, &session);
+  }
+  untraced /= kReps;
+  traced /= kReps;
+  const double overhead = (traced - untraced) / untraced * 100.0;
+  std::printf("\nTracing overhead (%d stages, %zu buffers, %llu rounds, "
+              "%d reps):\n  untraced %.4f s   traced %.4f s   overhead "
+              "%+.2f%%  (budget: 5%%)\n",
+              kStages, kBuffers,
+              static_cast<unsigned long long>(kRounds), kReps, untraced,
+              traced, overhead);
 }
 
 void BM_Overlap(benchmark::State& state) {
@@ -98,5 +128,6 @@ int main(int argc, char** argv) {
               "bound.\nExpected shape: speedup -> stages once buffers >= "
               "stages; ~1x with one buffer.\n");
   std::fputs(t.render().c_str(), stdout);
+  report_tracing_overhead();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "comm/fabric.hpp"
 
+#include "obs/span.hpp"
 #include "util/fault.hpp"
 
 #include <algorithm>
@@ -60,6 +61,11 @@ void Fabric::send(NodeId src, NodeId dst, int tag,
     throw std::invalid_argument(
         "fg::comm::Fabric::send: application tags must be >= 0");
   }
+  // Spans wrap only the public entry points (and each collective as one
+  // unit); the *_internal helpers stay silent so collective traffic is not
+  // double-counted as point-to-point sends.
+  obs::ScopedSpan span(obs::SpanKind::kFabricSend,
+                       static_cast<std::uint32_t>(src), data.size());
   send_internal(src, dst, tag, data);
 }
 
@@ -128,7 +134,11 @@ RecvResult Fabric::recv(NodeId me, NodeId src, int tag,
     throw std::invalid_argument(
         "fg::comm::Fabric::recv: application tags must be >= 0 (or kAnyTag)");
   }
-  return recv_internal(me, src, tag, out);
+  obs::ScopedSpan span(obs::SpanKind::kFabricRecv,
+                       static_cast<std::uint32_t>(me));
+  const RecvResult r = recv_internal(me, src, tag, out);
+  span.set_value(r.bytes);  // size known only after the message arrives
+  return r;
 }
 
 RecvResult Fabric::recv_internal(NodeId me, NodeId src, int tag,
@@ -208,6 +218,8 @@ bool Fabric::probe(NodeId me, NodeId src, int tag) const {
 void Fabric::barrier(NodeId me) {
   check_node(me, "barrier");
   if (size() == 1) return;
+  obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
+                       static_cast<std::uint32_t>(me));
   std::byte token{};
   if (me == 0) {
     // Collect one arrival from every other node (matched by explicit
@@ -231,6 +243,8 @@ void Fabric::broadcast(NodeId me, NodeId root, std::span<std::byte> data) {
   check_node(me, "broadcast");
   check_node(root, "broadcast");
   if (size() == 1) return;
+  obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
+                       static_cast<std::uint32_t>(me), data.size());
   if (me == root) {
     for (NodeId n = 0; n < size(); ++n) {
       if (n == root) continue;
@@ -245,6 +259,8 @@ void Fabric::alltoall(NodeId me, std::span<const std::byte> send_data,
                       std::span<std::byte> recv_data,
                       std::size_t block_bytes) {
   check_node(me, "alltoall");
+  obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
+                       static_cast<std::uint32_t>(me), send_data.size());
   const auto p = static_cast<std::size_t>(size());
   if (send_data.size() < p * block_bytes || recv_data.size() < p * block_bytes) {
     throw std::length_error(
@@ -272,6 +288,8 @@ std::vector<std::size_t> Fabric::alltoallv(
     NodeId me, const std::vector<std::span<const std::byte>>& send,
     std::span<std::byte> recv_all) {
   check_node(me, "alltoallv");
+  obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
+                       static_cast<std::uint32_t>(me));
   if (send.size() != static_cast<std::size_t>(size())) {
     throw std::invalid_argument(
         "fg::comm::Fabric::alltoallv: need one send block per node");
@@ -312,6 +330,8 @@ void Fabric::sendrecv_replace(NodeId me, NodeId dst, NodeId src, int tag,
   check_node(dst, "sendrecv_replace");
   check_node(src, "sendrecv_replace");
   if (dst == me && src == me) return;  // exchange with self is a no-op
+  obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
+                       static_cast<std::uint32_t>(me), data.size());
   send_internal(me, dst, tag, data);
   std::vector<std::byte> tmp(data.size());
   recv_internal(me, src, tag, tmp);
@@ -321,6 +341,8 @@ void Fabric::sendrecv_replace(NodeId me, NodeId dst, NodeId src, int tag,
 std::vector<std::uint64_t> Fabric::allgather_u64(NodeId me,
                                                  std::uint64_t value) {
   check_node(me, "allgather_u64");
+  obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
+                       static_cast<std::uint32_t>(me));
   std::vector<std::uint64_t> all(static_cast<std::size_t>(size()), 0);
   all[static_cast<std::size_t>(me)] = value;
   for (NodeId n = 0; n < size(); ++n) {
@@ -340,6 +362,8 @@ std::vector<std::uint64_t> Fabric::allgather_u64(NodeId me,
 std::vector<std::uint64_t> Fabric::allreduce_sum_u64(
     NodeId me, std::span<const std::uint64_t> values) {
   check_node(me, "allreduce_sum_u64");
+  obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
+                       static_cast<std::uint32_t>(me));
   std::vector<std::uint64_t> sum(values.begin(), values.end());
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;

@@ -12,6 +12,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "util/latency.hpp"
+
 namespace fg {
 
 /// Identifies a pipeline within one PipelineGraph.
@@ -111,6 +113,12 @@ class Buffer {
   /// Application stages should treat the round as read-only.
   void set_round(std::uint64_t r) noexcept { round_ = r; }
 
+  /// Framework-internal: when the source emitted this round.  The sink
+  /// uses it for the source→sink round-latency histogram and the round
+  /// spans on the trace timeline.
+  util::TimePoint emitted_at() const noexcept { return emitted_at_; }
+  void set_emitted_at(util::TimePoint t) noexcept { emitted_at_ = t; }
+
  private:
   std::unique_ptr<std::byte[]> data_;
   std::unique_ptr<std::byte[]> aux_;
@@ -118,6 +126,7 @@ class Buffer {
   std::size_t size_{0};
   std::uint64_t round_{0};
   std::uint64_t tag_{0};
+  util::TimePoint emitted_at_{};
   PipelineId pipeline_;
 };
 

@@ -14,6 +14,7 @@ struct PipelineGraph::Impl {
   std::unique_ptr<ExecutionPlan> plan;   // cached after first build
   std::unique_ptr<GraphRuntime> last;    // most recent run (stats live here)
   EventSink* sink{nullptr};
+  obs::Session* obs{nullptr};
   std::size_t runs_completed{0};
   util::Duration watchdog_window{util::Duration::zero()};
   std::function<void()> abort_hook;
@@ -50,6 +51,10 @@ void PipelineGraph::set_event_sink(EventSink* sink) {
   impl_->sink = sink;
 }
 
+void PipelineGraph::set_observability(obs::Session* session) {
+  impl_->obs = session;
+}
+
 void PipelineGraph::set_watchdog(util::Duration window) {
   impl_->watchdog_window = window;
 }
@@ -62,7 +67,8 @@ void PipelineGraph::run() {
   const ExecutionPlan& plan = impl_->ensure_plan();
   // Fresh queues, pools, and statistics every run; replacing the previous
   // runtime is what resets stats between runs.
-  impl_->last = std::make_unique<GraphRuntime>(plan, impl_->sink);
+  impl_->last = std::make_unique<GraphRuntime>(plan, impl_->sink,
+                                               impl_->obs);
   impl_->last->set_watchdog(impl_->watchdog_window);
   if (impl_->abort_hook) impl_->last->set_abort_hook(impl_->abort_hook);
   impl_->last->run();  // on throw, `last` keeps the partial stats

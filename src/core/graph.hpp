@@ -83,6 +83,14 @@ class PipelineGraph {
   /// outlive every run() it observes.
   void set_event_sink(EventSink* sink);
 
+  /// Attach an observability session: subsequent runs emit spans into
+  /// per-thread lock-free rings (stage work, accept/convey waits, queue
+  /// depths) and record round counts/latencies in the session's metrics
+  /// registry.  Pass nullptr to detach.  The session must outlive every
+  /// run() it observes; several graphs (e.g. one per simulated node) may
+  /// share one session.
+  void set_observability(obs::Session* session);
+
   /// Arm a stall watchdog on subsequent runs: if no worker completes a
   /// queue operation for `window`, the run aborts with PipelineStalled
   /// (naming each blocked worker and its queue) instead of deadlocking.

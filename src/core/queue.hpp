@@ -71,7 +71,11 @@ class BufferQueue {
   /// queue has been aborted; a worker whose push fails must stop
   /// circulating buffers and unwind (the run is being torn down), never
   /// assume the token arrived.
-  bool push(Token t) {
+  ///
+  /// `depth_after`, when non-null, receives the occupancy right after
+  /// the operation — observed under the lock we already hold, so the
+  /// tracing layer's depth samples cost no extra acquisition.
+  bool push(Token t, std::size_t* depth_after = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] {
       return aborted_ || capacity_ == 0 || q_.size() < capacity_;
@@ -80,19 +84,21 @@ class BufferQueue {
     q_.push_back(t);
     ++pushes_;
     if (q_.size() > peak_) peak_ = q_.size();
+    if (depth_after != nullptr) *depth_after = q_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   /// Blocking pop; returns an abort token once the queue is aborted.
-  Token pop() {
+  Token pop(std::size_t* depth_after = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return aborted_ || !q_.empty(); });
     if (aborted_) return Token::abort();
     Token t = q_.front();
     q_.pop_front();
     ++pops_;
+    if (depth_after != nullptr) *depth_after = q_.size();
     lock.unlock();
     not_full_.notify_one();
     return t;

@@ -25,13 +25,26 @@ const char* to_string(StageEventKind k) noexcept {
 // Construction: materialize queues, pools, and workers from the plan
 // ---------------------------------------------------------------------------
 
-GraphRuntime::GraphRuntime(const ExecutionPlan& plan, EventSink* sink)
+GraphRuntime::GraphRuntime(const ExecutionPlan& plan, EventSink* sink,
+                           obs::Session* obs)
     : plan_(&plan), sink_(sink) {
   queues_.reserve(plan.queues().size());
   for (std::uint32_t qi = 0; qi < plan.queues().size(); ++qi) {
     queues_.push_back(
         std::make_unique<BufferQueue>(plan.queues()[qi].capacity));
     queue_index_[queues_.back().get()] = qi;
+  }
+
+  if (obs != nullptr) {
+    spans_ = &obs->spans();
+    rounds_counter_ = &obs->metrics().counter("pipeline.rounds");
+    round_latency_ =
+        &obs->metrics().histogram("pipeline.round_latency_us");
+    queue_gauges_.reserve(queues_.size());
+    for (std::uint32_t qi = 0; qi < queues_.size(); ++qi) {
+      queue_gauges_.push_back(&obs->metrics().gauge(
+          "queue." + std::to_string(qi) + ".depth"));
+    }
   }
 
   pools_.resize(plan.pools().size());
@@ -102,20 +115,40 @@ void GraphRuntime::emit_queue(StageEventKind kind, const BufferQueue* q,
 // ---------------------------------------------------------------------------
 
 Token GraphRuntime::traced_pop(RunWorker& w, BufferQueue* q) {
-  w.blocked_queue.store(queue_index_.at(q), std::memory_order_relaxed);
+  const std::uint32_t qi = queue_index_.at(q);
+  w.blocked_queue.store(qi, std::memory_order_relaxed);
   w.blocked_push.store(false, std::memory_order_relaxed);
-  Token t = q->pop();
+  obs::SpanRing* const ring = obs::current_ring();
+  std::size_t depth = 0;
+  const bool sample = ring != nullptr || !queue_gauges_.empty();
+  Token t = q->pop(sample ? &depth : nullptr);
   w.blocked_queue.store(kNoQueue, std::memory_order_relaxed);
   progress_.fetch_add(1, std::memory_order_relaxed);
+  if (sample && t.kind != TokenKind::kAbort) {
+    if (!queue_gauges_.empty())
+      queue_gauges_[qi]->set(static_cast<std::int64_t>(depth));
+    if (ring != nullptr)
+      ring->sample(obs::SpanKind::kQueueDepth, qi, depth, util::Clock::now());
+  }
   return t;
 }
 
 bool GraphRuntime::traced_push(RunWorker& w, BufferQueue* q, Token t) {
-  w.blocked_queue.store(queue_index_.at(q), std::memory_order_relaxed);
+  const std::uint32_t qi = queue_index_.at(q);
+  w.blocked_queue.store(qi, std::memory_order_relaxed);
   w.blocked_push.store(true, std::memory_order_relaxed);
-  const bool ok = q->push(t);
+  obs::SpanRing* const ring = obs::current_ring();
+  std::size_t depth = 0;
+  const bool sample = ring != nullptr || !queue_gauges_.empty();
+  const bool ok = q->push(t, sample ? &depth : nullptr);
   w.blocked_queue.store(kNoQueue, std::memory_order_relaxed);
   progress_.fetch_add(1, std::memory_order_relaxed);
+  if (sample && ok) {
+    if (!queue_gauges_.empty())
+      queue_gauges_[qi]->set(static_cast<std::int64_t>(depth));
+    if (ring != nullptr)
+      ring->sample(obs::SpanKind::kQueueDepth, qi, depth, util::Clock::now());
+  }
   return ok;
 }
 
@@ -186,6 +219,13 @@ void GraphRuntime::watchdog_loop() {
 }
 
 void GraphRuntime::worker_entry(RunWorker* w) {
+  // Each OS thread gets its own span ring (replicas of one worker get
+  // one each — the ring is single-writer by construction) and publishes
+  // it thread-locally so the substrates (disk, fabric) can emit into the
+  // same track without plumbing.
+  obs::SpanRing* ring = nullptr;
+  if (spans_ != nullptr) ring = &spans_->acquire(w->spec->label);
+  obs::RingScope ambient(ring);
   try {
     switch (w->spec->kind) {
       case WorkerKind::kSource: source_loop(*w); break;

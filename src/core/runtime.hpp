@@ -13,7 +13,12 @@
 // still owns every buffer), and rethrows the first exception from run().
 //
 // Instrumentation: the loops feed StageStats unconditionally and forward
-// StageEvents to an optional EventSink (see core/events.hpp).
+// StageEvents to an optional EventSink (see core/events.hpp).  When an
+// obs::Session is attached, each worker thread additionally writes
+// begin/end spans into a private lock-free ring (stage work, accept- and
+// convey-waits, queue-depth samples), the sink records round latencies,
+// and the rings are merged after the join for Chrome-trace export — the
+// hot path touches no lock and allocates nothing.
 #pragma once
 
 #include "core/events.hpp"
@@ -34,6 +39,14 @@
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+namespace fg::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Session;
+class SpanCollector;
+}  // namespace fg::obs
 
 namespace fg {
 
@@ -64,8 +77,10 @@ struct BufferAudit {
 class GraphRuntime {
  public:
   /// Materialize queues and pools for `plan`.  The plan must outlive the
-  /// runtime; `sink` may be null.
-  GraphRuntime(const ExecutionPlan& plan, EventSink* sink);
+  /// runtime; `sink` and `obs` may be null.  With a session attached the
+  /// run contributes spans and metrics to it (see class comment).
+  GraphRuntime(const ExecutionPlan& plan, EventSink* sink,
+               obs::Session* obs = nullptr);
   ~GraphRuntime();
 
   GraphRuntime(const GraphRuntime&) = delete;
@@ -139,6 +154,15 @@ class GraphRuntime {
 
   const ExecutionPlan* plan_;
   EventSink* sink_;
+
+  // Observability handles, resolved once at construction (the registry
+  // lookup takes a mutex; the hot paths below only dereference).  All
+  // null/empty when no session is attached.
+  obs::SpanCollector* spans_{nullptr};
+  obs::Counter* rounds_counter_{nullptr};
+  obs::Histogram* round_latency_{nullptr};
+  std::vector<obs::Gauge*> queue_gauges_;  // indexed like queues_
+
   std::vector<std::unique_ptr<BufferQueue>> queues_;
   std::vector<std::vector<std::unique_ptr<Buffer>>> pools_;  // by pipeline
   std::vector<std::unique_ptr<RunWorker>> workers_;

@@ -6,6 +6,7 @@
 
 #include "core/runtime.hpp"
 #include "core/stage.hpp"
+#include "obs/session.hpp"
 #include "util/timer.hpp"
 
 #include <deque>
@@ -108,6 +109,9 @@ class GraphRuntime::Context final : public StageContext {
 
   GraphRuntime& rt_;
   RunWorker& w_;
+  // Captured at construction, which happens on the worker's own thread
+  // after worker_entry published its ring; null when tracing is off.
+  obs::SpanRing* const ring_ = obs::current_ring();
   std::unordered_map<PipelineId, std::deque<Buffer*>> stash_;
   std::unordered_set<PipelineId> exhausted_;
   std::unordered_set<Buffer*> held_;

@@ -18,18 +18,27 @@ void GraphRuntime::park_token(RunWorker& w, Token t) {
 }
 
 void GraphRuntime::source_loop(RunWorker& w) {
+  obs::SpanRing* const ring = obs::current_ring();
   std::size_t active = w.spec->members.size();
 
   // Emits return false once the run is being torn down.
   auto emit_buffer = [&](PipelineId pid, Buffer* b) {
     auto& st = w.src[pid];
+    // Capture the round id now: once the push succeeds the buffer is
+    // downstream property and may be recycled (and re-stamped) before
+    // the span emit below runs.
+    const std::uint64_t round = st.emitted;
     b->set_round(st.emitted++);
     b->set_size(0);
     b->set_tag(0);
     BufferQueue* q = w.out.at(pid);
     const auto t0 = util::Clock::now();
+    b->set_emitted_at(t0);  // the round's birth timestamp, read by the sink
     const bool ok = traced_push(w, q, Token::of_buffer(b));
-    w.stats.convey_blocked += now_minus(t0);
+    const auto t1 = util::Clock::now();
+    w.stats.convey_blocked += t1 - t0;
+    if (ring != nullptr)
+      ring->emit(obs::SpanKind::kConveyWait, pid, round, t0, t1);
     if (!ok) {
       w.src[pid].parked += 1;  // token dropped by the aborted queue
       return false;
@@ -68,7 +77,12 @@ void GraphRuntime::source_loop(RunWorker& w) {
   while (active > 0) {
     const auto t0 = util::Clock::now();
     Token t = traced_pop(w, w.in);
-    w.stats.accept_blocked += now_minus(t0);
+    const auto t1 = util::Clock::now();
+    w.stats.accept_blocked += t1 - t0;
+    if (ring != nullptr && t.kind != TokenKind::kAbort) {
+      ring->emit(obs::SpanKind::kAcceptWait, t.pipeline,
+                 t.buffer != nullptr ? t.buffer->round() : 0, t0, t1);
+    }
     switch (t.kind) {
       case TokenKind::kAbort:
         return;
@@ -98,11 +112,17 @@ void GraphRuntime::source_loop(RunWorker& w) {
 }
 
 void GraphRuntime::sink_loop(RunWorker& w) {
+  obs::SpanRing* const ring = obs::current_ring();
   std::size_t active = w.spec->members.size();
   for (;;) {
     const auto t0 = util::Clock::now();
     Token t = traced_pop(w, w.in);
-    w.stats.accept_blocked += now_minus(t0);
+    const auto t1 = util::Clock::now();
+    w.stats.accept_blocked += t1 - t0;
+    if (ring != nullptr && t.kind != TokenKind::kAbort) {
+      ring->emit(obs::SpanKind::kAcceptWait, t.pipeline,
+                 t.buffer != nullptr ? t.buffer->round() : 0, t0, t1);
+    }
     switch (t.kind) {
       case TokenKind::kAbort:
         return;
@@ -111,6 +131,22 @@ void GraphRuntime::sink_loop(RunWorker& w) {
         break;
       case TokenKind::kBuffer:
         ++w.stats.buffers;
+        // The buffer reaching the sink closes its round: count it and
+        // measure the source→sink latency the paper's Figure 8 plots.
+        if (rounds_counter_ != nullptr) {
+          rounds_counter_->add(1);
+          const util::TimePoint emitted = t.buffer->emitted_at();
+          if (round_latency_ != nullptr && t1 >= emitted) {
+            round_latency_->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    t1 - emitted)
+                    .count()));
+          }
+          if (ring != nullptr && t1 >= emitted) {
+            ring->emit(obs::SpanKind::kRound, t.pipeline, t.buffer->round(),
+                       emitted, t1);
+          }
+        }
         park_token(w, t);  // recycle to the source
         break;
       case TokenKind::kClose:
@@ -120,6 +156,7 @@ void GraphRuntime::sink_loop(RunWorker& w) {
 }
 
 void GraphRuntime::map_loop(RunWorker& w) {
+  obs::SpanRing* const ring = obs::current_ring();
   auto* stage = static_cast<MapStage*>(w.spec->stage);
   std::size_t active = w.spec->members.size();
   std::unordered_map<PipelineId, bool> closed;
@@ -128,14 +165,22 @@ void GraphRuntime::map_loop(RunWorker& w) {
   for (;;) {
     const auto t0 = util::Clock::now();
     Token t = traced_pop(w, w.in);
-    w.stats.accept_blocked += now_minus(t0);
+    const auto t1 = util::Clock::now();
+    w.stats.accept_blocked += t1 - t0;
+    if (ring != nullptr && t.kind != TokenKind::kAbort) {
+      ring->emit(obs::SpanKind::kAcceptWait, t.pipeline,
+                 t.buffer != nullptr ? t.buffer->round() : 0, t0, t1);
+    }
     switch (t.kind) {
       case TokenKind::kAbort:
         return;
       case TokenKind::kCaboose: {
         const auto tw = util::Clock::now();
         stage->flush(t.pipeline);
-        w.stats.working += now_minus(tw);
+        const auto tw1 = util::Clock::now();
+        w.stats.working += tw1 - tw;
+        if (ring != nullptr)
+          ring->emit(obs::SpanKind::kStageWork, t.pipeline, 0, tw, tw1);
         traced_push(w, w.out.at(t.pipeline), t);
         emit(StageEventKind::kCabooseForwarded, w.index, t.pipeline);
         if (--active == 0) return;
@@ -160,7 +205,14 @@ void GraphRuntime::map_loop(RunWorker& w) {
           park_token(w, t);
           throw;
         }
-        w.stats.working += now_minus(tw);
+        const auto tw1 = util::Clock::now();
+        w.stats.working += tw1 - tw;
+        // Buffer fields must not be read after a successful push — the
+        // buffer can recycle and be re-stamped by the source meanwhile.
+        const std::uint64_t round = t.buffer->round();
+        if (ring != nullptr) {
+          ring->emit(obs::SpanKind::kStageWork, pid, round, tw, tw1);
+        }
         ++w.stats.buffers;
         const bool conveys = action == StageAction::kConvey ||
                              action == StageAction::kConveyAndClose;
@@ -170,7 +222,11 @@ void GraphRuntime::map_loop(RunWorker& w) {
           BufferQueue* q = w.out.at(pid);
           const auto tc = util::Clock::now();
           const bool ok = traced_push(w, q, t);
-          w.stats.convey_blocked += now_minus(tc);
+          const auto tc1 = util::Clock::now();
+          w.stats.convey_blocked += tc1 - tc;
+          if (ring != nullptr) {
+            ring->emit(obs::SpanKind::kConveyWait, pid, round, tc, tc1);
+          }
           if (!ok) {
             park_token(w, t);  // teardown: keep the buffer accountable
           } else {
@@ -197,6 +253,9 @@ void GraphRuntime::map_loop(RunWorker& w) {
 }
 
 void GraphRuntime::map_loop_replicated(RunWorker& w) {
+  // Each replica thread has its own ambient ring (attached in
+  // worker_entry), so span emission needs no cross-replica coordination.
+  obs::SpanRing* const ring = obs::current_ring();
   auto* stage = static_cast<MapStage*>(w.spec->stage);
   auto& shared = w.repl;
   {
@@ -223,7 +282,13 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
   for (;;) {
     const auto t0 = util::Clock::now();
     Token t = traced_pop(w, w.in);
-    local.accept_blocked += now_minus(t0);
+    const auto t1 = util::Clock::now();
+    local.accept_blocked += t1 - t0;
+    if (ring != nullptr && t.kind != TokenKind::kAbort &&
+        t.kind != TokenKind::kClose) {
+      ring->emit(obs::SpanKind::kAcceptWait, t.pipeline,
+                 t.buffer != nullptr ? t.buffer->round() : 0, t0, t1);
+    }
     switch (t.kind) {
       case TokenKind::kAbort:
         merge_stats();
@@ -242,7 +307,10 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
         }
         const auto tw = util::Clock::now();
         stage->flush(pid);
-        local.working += now_minus(tw);
+        const auto tw1 = util::Clock::now();
+        local.working += tw1 - tw;
+        if (ring != nullptr)
+          ring->emit(obs::SpanKind::kStageWork, pid, 0, tw, tw1);
         traced_push(w, w.out.at(pid), t);
         emit(StageEventKind::kCabooseForwarded, w.index, pid);
         bool last;
@@ -284,7 +352,13 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
           merge_stats();
           throw;
         }
-        local.working += now_minus(tw);
+        const auto tw1 = util::Clock::now();
+        local.working += tw1 - tw;
+        // As in map_loop: no buffer-field reads after a successful push.
+        const std::uint64_t round = t.buffer->round();
+        if (ring != nullptr) {
+          ring->emit(obs::SpanKind::kStageWork, pid, round, tw, tw1);
+        }
         ++local.buffers;
         const bool conveys = action == StageAction::kConvey ||
                              action == StageAction::kConveyAndClose;
@@ -294,7 +368,11 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
           BufferQueue* q = w.out.at(pid);
           const auto tc = util::Clock::now();
           const bool ok = traced_push(w, q, t);
-          local.convey_blocked += now_minus(tc);
+          const auto tc1 = util::Clock::now();
+          local.convey_blocked += tc1 - tc;
+          if (ring != nullptr) {
+            ring->emit(obs::SpanKind::kConveyWait, pid, round, tc, tc1);
+          }
           if (!ok) {
             park_token(w, t);
           } else {
@@ -340,15 +418,23 @@ void GraphRuntime::Context::convey(Buffer* b) {
         "cannot jump between pipelines)");
   }
   held_.erase(b);
+  // Capture before the push: a conveyed buffer may be recycled and
+  // re-stamped by the source before the emits below run.
+  const PipelineId pid = b->pipeline();
+  const std::uint64_t round = b->round();
   const auto t0 = util::Clock::now();
   const bool ok = rt_.traced_push(w_, it->second, Token::of_buffer(b));
-  w_.stats.convey_blocked += now_minus(t0);
+  const auto t1 = util::Clock::now();
+  w_.stats.convey_blocked += t1 - t0;
+  if (ring_ != nullptr) {
+    ring_->emit(obs::SpanKind::kConveyWait, pid, round, t0, t1);
+  }
   if (!ok) {
     rt_.park_token(w_, Token::of_buffer(b));
     throw AbortSignal{};
   }
-  rt_.emit(StageEventKind::kBufferConveyed, w_.index, b->pipeline());
-  rt_.emit_queue(StageEventKind::kQueuePush, it->second, b->pipeline());
+  rt_.emit(StageEventKind::kBufferConveyed, w_.index, pid);
+  rt_.emit_queue(StageEventKind::kQueuePush, it->second, pid);
 }
 
 void GraphRuntime::Context::recycle(Buffer* b) {
@@ -398,7 +484,12 @@ Buffer* GraphRuntime::Context::accept_pid(PipelineId pid) {
   for (;;) {
     const auto t0 = util::Clock::now();
     Token t = rt_.traced_pop(w_, q);
-    w_.stats.accept_blocked += now_minus(t0);
+    const auto t1 = util::Clock::now();
+    w_.stats.accept_blocked += t1 - t0;
+    if (ring_ != nullptr && t.kind != TokenKind::kAbort) {
+      ring_->emit(obs::SpanKind::kAcceptWait, t.pipeline,
+                  t.buffer != nullptr ? t.buffer->round() : 0, t0, t1);
+    }
     switch (t.kind) {
       case TokenKind::kAbort:
         throw AbortSignal{};

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace fg {
@@ -40,22 +41,31 @@ struct StageStats {
 /// report.
 inline void merge_stage_stats(std::vector<StageStats>& into,
                               const std::vector<StageStats>& from) {
+  // (stage, pipelines) → index in `into`.  Stage names cannot contain a
+  // NUL, so the joined key is unambiguous.  Appended entries keep their
+  // first-seen order, matching the old O(n²) scan's behaviour.
+  const auto key = [](const StageStats& s) {
+    std::string k;
+    k.reserve(s.stage.size() + 1 + s.pipelines.size());
+    k += s.stage;
+    k += '\0';
+    k += s.pipelines;
+    return k;
+  };
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(into.size() + from.size());
+  for (std::size_t i = 0; i < into.size(); ++i) index.emplace(key(into[i]), i);
   for (const StageStats& s : from) {
-    StageStats* hit = nullptr;
-    for (StageStats& t : into) {
-      if (t.stage == s.stage && t.pipelines == s.pipelines) {
-        hit = &t;
-        break;
-      }
-    }
-    if (!hit) {
+    const auto [it, inserted] = index.emplace(key(s), into.size());
+    if (inserted) {
       into.push_back(s);
       continue;
     }
-    hit->buffers += s.buffers;
-    hit->working += s.working;
-    hit->accept_blocked += s.accept_blocked;
-    hit->convey_blocked += s.convey_blocked;
+    StageStats& t = into[it->second];
+    t.buffers += s.buffers;
+    t.working += s.working;
+    t.accept_blocked += s.accept_blocked;
+    t.convey_blocked += s.convey_blocked;
   }
 }
 

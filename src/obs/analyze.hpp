@@ -1,0 +1,87 @@
+// Overlap analysis over a Chrome-trace blob or a --stats-json blob.
+//
+// This is the reasoning the paper applies to Figures 8a/8b, mechanised:
+// per-stage busy/blocked occupancy, the bottleneck stage (the one whose
+// threads are busiest), a critical-path lower bound on wall time (the
+// busiest single thread — no schedule can finish before its own work),
+// and the rounds that took longest end-to-end together with the stage
+// that stalled them.  Lives in the library (not the fgtrace tool) so the
+// round-trip tests can drive it directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace fg::util {
+class JsonWriter;
+}  // namespace fg::util
+
+namespace fg::obs {
+
+struct StageOccupancy {
+  std::string stage;       ///< worker label ("reader", "merge", ...)
+  std::size_t tracks{0};   ///< number of threads with this label
+  double busy_s{0};        ///< summed across tracks
+  double accept_s{0};
+  double convey_s{0};
+  double occupancy{0};     ///< busy_s / (wall × tracks), in [0, 1]
+};
+
+struct SlowRound {
+  std::uint64_t pipeline{0};
+  std::uint64_t round{0};
+  double latency_s{0};        ///< source emit → sink receipt
+  std::string stalled_stage;  ///< stage that held the buffer longest
+  std::string stalled_kind;   ///< "work" / "convey-wait"
+  double stalled_s{0};
+};
+
+struct OverlapReport {
+  std::string source;              ///< program name, or "trace"
+  double wall_s{0};
+  std::vector<StageOccupancy> stages;  ///< sorted by occupancy, descending
+  std::string bottleneck;              ///< stages.front().stage
+  double bottleneck_occupancy{0};
+  double critical_path_s{0};       ///< max per-thread busy time
+  double achieved_overlap{0};      ///< critical_path_s / wall_s
+  std::uint64_t rounds{0};
+  std::vector<SlowRound> slow_rounds;
+  std::uint64_t spans{0};
+  std::uint64_t dropped{0};
+};
+
+/// True if `doc` looks like a Chrome trace ({"traceEvents":[...]}).
+bool is_chrome_trace(const util::Json& doc);
+
+/// Structural validation of a Chrome-trace blob: required keys and
+/// types, non-negative ts/dur (span begin/end pairing), a thread_name
+/// for every referenced tid, and — when no spans were dropped — density
+/// of the round ids seen by the sinks.  Returns a list of problems;
+/// empty means the trace is well-formed.
+std::vector<std::string> check_trace(const util::Json& doc);
+
+/// Same idea for a --stats-json / RunStats blob: every stage entry must
+/// carry its labels and timings, and histogram bucket counts must sum to
+/// the histogram's count.
+std::vector<std::string> check_stats(const util::Json& doc);
+
+/// Overlap report from a Chrome-trace blob (throws JsonParseError /
+/// std::out_of_range on malformed input — run check_trace first for a
+/// friendly report).
+OverlapReport analyze_trace(const util::Json& doc, std::size_t top_n = 5);
+
+/// Overlap reports from a stats blob: one per program for an fgsort
+/// --stats-json document, or a single report for a bare RunStats object.
+/// Slow-round detail is unavailable here (aggregates only).
+std::vector<OverlapReport> analyze_stats(const util::Json& doc);
+
+/// Human-readable rendering of a report.
+std::string render_report(const OverlapReport& r);
+
+/// JSON rendering: {"wall_s":...,"bottleneck":...,"stages":[...],...}.
+void write_report_json(util::JsonWriter& w, const OverlapReport& r);
+
+}  // namespace fg::obs

@@ -1,0 +1,28 @@
+// Render a SpanCollector as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing.
+//
+// Layout: one pid (0) for the whole run; one tid per span ring, named
+// after its worker via "M"/thread_name metadata; every interval span is
+// a "ph":"X" complete event (ts/dur in microseconds); queue-depth
+// samples become "ph":"C" counter events so Perfetto draws them as a
+// filled area chart under the thread tracks.
+#pragma once
+
+#include <string>
+
+#include "obs/collector.hpp"
+
+namespace fg::util {
+class JsonWriter;
+}  // namespace fg::util
+
+namespace fg::obs {
+
+/// Write `{"displayTimeUnit":"ms","otherData":{"dropped":N},
+///         "traceEvents":[...]}` for every ring in `spans`.
+void write_chrome_trace(util::JsonWriter& w, const SpanCollector& spans);
+
+/// Convenience: rendered blob as a string.
+std::string chrome_trace_json(const SpanCollector& spans);
+
+}  // namespace fg::obs

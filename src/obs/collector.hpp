@@ -1,0 +1,67 @@
+// SpanCollector: owns the per-thread span rings for one traced run.
+//
+// acquire() is the cold path — each worker thread calls it once at
+// startup, under a mutex, and thereafter writes its ring privately.
+// The read side (tracks(), merged()) must only run after every writing
+// thread has joined; callers get that ordering for free because the
+// pipeline runtime joins its workers before reporting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace fg::obs {
+
+/// One thread's surviving spans, labelled for display.
+struct TrackSpans {
+  std::string name;       ///< worker label (stage name, "disk", ...)
+  std::uint32_t track;    ///< stable track id (ring acquisition order)
+  std::uint64_t dropped;  ///< records overwritten in this ring
+  std::vector<SpanRecord> spans;  ///< oldest first
+};
+
+class SpanCollector {
+ public:
+  /// @param ring_capacity records per thread; rounded up to a power of
+  ///        two.  8192 records ≈ 256 KiB per worker thread.
+  explicit SpanCollector(std::size_t ring_capacity = 1u << 13);
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Hand out a ring for the calling thread.  Rings live until the
+  /// collector is destroyed; their addresses are stable.
+  SpanRing& acquire(std::string name);
+
+  /// Zero point for every ring's timestamps.
+  util::TimePoint epoch() const noexcept { return epoch_; }
+
+  /// Snapshot of all rings.  Only valid once writers have joined.
+  std::vector<TrackSpans> tracks() const;
+
+  /// All surviving spans across rings, sorted by begin time.  Each span
+  /// is tagged with its track id via the parallel `track_of` vector.
+  struct Merged {
+    std::vector<SpanRecord> spans;
+    std::vector<std::uint32_t> track_of;  // parallel to spans
+    std::vector<std::string> track_names;  // indexed by track id
+    std::uint64_t dropped{0};
+  };
+  Merged merged() const;
+
+  std::uint64_t total_dropped() const;
+  std::size_t ring_count() const;
+
+ private:
+  mutable std::mutex mutex_;  // guards rings_ growth only
+  std::deque<SpanRing> rings_;  // deque: stable addresses as it grows
+  std::size_t ring_capacity_;
+  util::TimePoint epoch_;
+};
+
+}  // namespace fg::obs

@@ -1,0 +1,119 @@
+// Named metrics: counters, gauges, and log₂-bucketed histograms.
+//
+// Instruments are handed out once (by name, under a mutex) and then
+// updated with single relaxed atomics — safe to bump from any worker
+// thread and to read concurrently from the heartbeat reporter.  The
+// registry owns the instruments; references stay valid for its
+// lifetime, so the runtime resolves them at construction and the hot
+// path never touches the name map.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fg::util {
+class JsonWriter;
+}  // namespace fg::util
+
+namespace fg::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log₂-bucketed latency histogram.  Bucket 0 holds the value 0; bucket
+/// i ≥ 1 holds values in [2^(i-1), 2^i).  record() is three relaxed
+/// fetch_adds; percentiles are estimated from bucket upper bounds, which
+/// for microsecond latencies gives at worst a 2× overestimate — plenty
+/// for spotting a p99 disk stall.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while ((std::uint64_t{1} << b) <= v && b + 1 < kBuckets) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket containing the p-th percentile
+  /// (0 < p ≤ 100).  Returns 0 for an empty histogram.
+  std::uint64_t percentile(double p) const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Name → instrument directory.  Lookup is mutex-guarded (cold path);
+/// the returned references are stable for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Value of a counter, or 0 if it has never been created.  For the
+  /// heartbeat reporter, which must not create instruments as a side
+  /// effect of reading them.
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// Snapshot of all gauges whose name starts with `prefix`.
+  std::vector<std::pair<std::string, std::int64_t>> gauges_with_prefix(
+      std::string_view prefix) const;
+
+  /// Emit `{"counters":{...},"gauges":{...},"histograms":{...}}` where
+  /// each histogram carries count/sum/p50/p95/p99 and its non-empty
+  /// buckets.
+  void write_json(util::JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fg::obs

@@ -1,0 +1,36 @@
+// An observability session: one span collector plus one metrics
+// registry, shared by every pipeline graph, disk, and fabric that a
+// program run touches.  fgsort creates one per program when any of
+// --trace-out / --progress / --stats-json is in effect and hands it to
+// the sort drivers through SortConfig::obs.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/collector.hpp"
+#include "obs/registry.hpp"
+
+namespace fg::obs {
+
+class Session {
+ public:
+  explicit Session(std::size_t ring_capacity = 1u << 13)
+      : spans_(ring_capacity) {}
+
+  SpanCollector& spans() noexcept { return spans_; }
+  const SpanCollector& spans() const noexcept { return spans_; }
+  Registry& metrics() noexcept { return metrics_; }
+  const Registry& metrics() const noexcept { return metrics_; }
+
+  /// Derive latency histograms (wait / disk / fabric, in microseconds)
+  /// from the collected spans.  Call once, after every traced thread has
+  /// joined; round latency and round counts are recorded live by the
+  /// runtime and are not touched here.
+  void finalize();
+
+ private:
+  SpanCollector spans_;
+  Registry metrics_;
+};
+
+}  // namespace fg::obs

@@ -1,5 +1,6 @@
 #include "pdm/disk.hpp"
 
+#include "obs/span.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
@@ -142,6 +143,12 @@ std::size_t Disk::read_once(const File& f, std::uint64_t offset,
 std::size_t Disk::read(const File& f, std::uint64_t offset,
                        std::span<std::byte> out) {
   if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::read: closed file");
+  // Whole-operation span, retries included: the timeline shows what the
+  // calling stage actually waited for.  No-op unless the calling thread
+  // runs under a traced pipeline.
+  obs::ScopedSpan span(obs::SpanKind::kDiskRead,
+                       static_cast<std::uint32_t>(node_ < 0 ? 0 : node_),
+                       out.size());
   const util::RetryPolicy policy = retry_policy();
   util::RetryStats local;
   std::size_t total = 0;
@@ -162,7 +169,12 @@ std::size_t Disk::read(const File& f, std::uint64_t offset,
       ++local.retries;
       retried = true;
       // Back off outside the spindle mutex so other threads keep the disk.
-      std::this_thread::sleep_for(policy.backoff(failures, offset + total));
+      {
+        obs::ScopedSpan backoff(obs::SpanKind::kDiskRetry,
+                                static_cast<std::uint32_t>(node_ < 0 ? 0
+                                                                     : node_));
+        std::this_thread::sleep_for(policy.backoff(failures, offset + total));
+      }
       continue;
     }
     failures = 0;  // a completed transfer resets the consecutive count
@@ -210,6 +222,9 @@ std::size_t Disk::write_once(const File& f, std::uint64_t offset,
 void Disk::write(const File& f, std::uint64_t offset,
                  std::span<const std::byte> data) {
   if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::write: closed file");
+  obs::ScopedSpan span(obs::SpanKind::kDiskWrite,
+                       static_cast<std::uint32_t>(node_ < 0 ? 0 : node_),
+                       data.size());
   const util::RetryPolicy policy = retry_policy();
   util::RetryStats local;
   std::size_t total = 0;
@@ -230,7 +245,12 @@ void Disk::write(const File& f, std::uint64_t offset,
       }
       ++local.retries;
       retried = true;
-      std::this_thread::sleep_for(policy.backoff(failures, offset + total));
+      {
+        obs::ScopedSpan backoff(obs::SpanKind::kDiskRetry,
+                                static_cast<std::uint32_t>(node_ < 0 ? 0
+                                                                     : node_));
+        std::this_thread::sleep_for(policy.backoff(failures, offset + total));
+      }
       continue;
     }
     failures = 0;

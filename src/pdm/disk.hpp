@@ -117,6 +117,11 @@ class Disk {
     fault_node_ = node;
   }
 
+  /// Node id used to tag this disk's trace spans (obs::SpanKind::kDisk*).
+  /// Set once at workspace construction, before any worker thread runs.
+  void set_node(int node) noexcept { node_ = node; }
+  int node() const noexcept { return node_; }
+
   /// How read/write respond to transient failures.  The default policy
   /// (no retries) propagates every failure, which is what logic tests
   /// want; chaos runs install util::RetryPolicy::standard().
@@ -182,6 +187,7 @@ class Disk {
   std::uint64_t last_end_{0};            ///< ...and the byte after last op
   fault::Injector* injector_{nullptr};
   int fault_node_{-1};
+  int node_{0};  ///< span scope; written before threads, read-only after
   util::RetryPolicy retry_policy_{};
   util::RetryStats retry_stats_;
 };

@@ -36,6 +36,7 @@ Workspace::Workspace(std::filesystem::path root, int nodes,
   for (int i = 0; i < nodes; ++i) {
     disks_.push_back(std::make_unique<Disk>(
         root_ / ("node" + std::to_string(i)), disk_model));
+    disks_.back()->set_node(i);
   }
 }
 

@@ -30,6 +30,9 @@ class Workspace {
 
   int nodes() const noexcept { return static_cast<int>(disks_.size()); }
   Disk& disk(int node) { return *disks_.at(static_cast<std::size_t>(node)); }
+  const Disk& disk(int node) const {
+    return *disks_.at(static_cast<std::size_t>(node));
+  }
   const std::filesystem::path& root() const noexcept { return root_; }
 
   /// Leave the directory tree on disk when the workspace is destroyed.

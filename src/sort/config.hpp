@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+namespace fg::obs {
+class Session;
+}  // namespace fg::obs
+
 namespace fg::sort {
 
 struct SortConfig {
@@ -52,6 +56,12 @@ struct SortConfig {
   /// PipelineStalled diagnostic instead of hanging.  Must exceed the
   /// longest single modeled operation by a comfortable margin.
   std::uint32_t watchdog_ms{0};
+
+  /// Observability session: when set, every pipeline graph the run builds
+  /// attaches to it (span rings + metrics registry), and disk/fabric spans
+  /// from stage threads land in the same per-thread rings.  The session
+  /// must outlive the run; one session may span several runs/passes.
+  obs::Session* obs{nullptr};
 
   /// csort matrix geometry (rows r, columns s).  Zero means "choose
   /// automatically for `records`"; if set, r*s must equal `records`.

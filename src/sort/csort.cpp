@@ -106,8 +106,9 @@ std::size_t p3_recv_capacity(const Geo& g, std::uint32_t block_records) {
                                   static_cast<std::uint64_t>(g.p) * 8);
 }
 
-void arm_watchdog(PipelineGraph& graph, const SortConfig& cfg,
-                  comm::Fabric& fabric) {
+void instrument_graph(PipelineGraph& graph, const SortConfig& cfg,
+                      comm::Fabric& fabric) {
+  if (cfg.obs) graph.set_observability(cfg.obs);
   if (cfg.watchdog_ms == 0) return;
   graph.set_watchdog(std::chrono::milliseconds(cfg.watchdog_ms));
   // Stages block inside fabric collectives; a stalled run must abort the
@@ -237,7 +238,7 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(permute);
       pl.add_stage(communicate);
       pl.add_stage(write);
-      arm_watchdog(graph, cfg, fabric);
+      instrument_graph(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
@@ -333,7 +334,7 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(permute);
       pl.add_stage(communicate);
       pl.add_stage(write);
-      arm_watchdog(graph, cfg, fabric);
+      instrument_graph(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
@@ -487,7 +488,7 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pl.add_stage(sort_stage);
       pl.add_stage(communicate);
       pl.add_stage(write);
-      arm_watchdog(graph, cfg, fabric);
+      instrument_graph(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);

@@ -146,8 +146,9 @@ void check_config(const comm::Cluster& cluster, const pdm::Workspace& ws,
   }
 }
 
-void arm_watchdog(PipelineGraph& graph, const SortConfig& cfg,
-                  comm::Fabric& fabric) {
+void instrument_graph(PipelineGraph& graph, const SortConfig& cfg,
+                      comm::Fabric& fabric) {
+  if (cfg.obs) graph.set_observability(cfg.obs);
   if (cfg.watchdog_ms == 0) return;
   graph.set_watchdog(std::chrono::milliseconds(cfg.watchdog_ms));
   // Stages of these graphs block inside fabric calls, which queue aborts
@@ -323,7 +324,7 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       rp.add_stage(sort_stage);
       rp.add_stage(write);
 
-      arm_watchdog(graph, cfg, fabric);
+      instrument_graph(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);
@@ -465,7 +466,7 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       rp.add_stage(receive);
       rp.add_stage(write);
 
-      arm_watchdog(graph, cfg, fabric);
+      instrument_graph(graph, cfg, fabric);
       graph.run();
       {
         std::lock_guard<std::mutex> lock(stats_mutex);

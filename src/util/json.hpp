@@ -1,0 +1,87 @@
+// A strict JSON parser: the reading half of util/trace.hpp's JsonWriter.
+//
+// The observability tooling (tools/fgtrace, the JSON round-trip tests)
+// must be able to *consume* the blobs the writers emit and reject
+// malformed output loudly — a trace that chrome://tracing would refuse
+// should fail CI, not ship.  Hence strict: the full RFC 8259 grammar,
+// nothing more (no trailing commas, no comments, no NaN/Infinity, no
+// unescaped control characters), duplicate object keys rejected, and the
+// entire input must be one value plus whitespace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fg::util {
+
+/// Thrown by Json::parse on any grammar violation; the message names the
+/// byte offset and the rule that failed.
+struct JsonParseError : std::runtime_error {
+  explicit JsonParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An immutable parsed JSON value.
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  /// Object members in source order (duplicate keys are a parse error).
+  using Members = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+
+  /// Parse `text` as exactly one JSON document; throws JsonParseError.
+  static Json parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool boolean() const { return expect(Type::kBool), bool_; }
+  double number() const { return expect(Type::kNumber), num_; }
+  const std::string& string() const { return expect(Type::kString), str_; }
+  const std::vector<Json>& array() const {
+    return expect(Type::kArray), arr_;
+  }
+  const Members& object() const { return expect(Type::kObject), obj_; }
+
+  /// Number as a non-negative integer; throws if the value is negative,
+  /// fractional, or too large for exact double representation.
+  std::uint64_t u64() const;
+
+  /// Object member lookup; nullptr if absent (or not an object).
+  const Json* find(std::string_view key) const noexcept;
+
+  /// Object member / array element access; throws std::out_of_range.
+  const Json& at(std::string_view key) const;
+  const Json& at(std::size_t index) const;
+
+  std::size_t size() const noexcept {
+    return type_ == Type::kArray ? arr_.size()
+         : type_ == Type::kObject ? obj_.size() : 0;
+  }
+
+ private:
+  class Parser;
+  void expect(Type t) const;
+
+  Type type_{Type::kNull};
+  bool bool_{false};
+  double num_{0.0};
+  std::string str_;
+  std::vector<Json> arr_;
+  Members obj_;
+};
+
+}  // namespace fg::util

@@ -175,10 +175,17 @@ double TraceLog::now_seconds() const noexcept {
 
 void TraceLog::record(const char* kind, std::uint32_t scope, std::uint32_t aux,
                       std::uint64_t value) noexcept {
+  // Once the log fills, recording degrades to a lock-free counter bump so
+  // a saturated trace no longer serializes the worker threads it watches.
+  if (full_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const double t = now_seconds();
   std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.size() >= max_entries_) {
-    ++dropped_;
+    full_.store(true, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   entries_.push_back(Entry{t, kind, scope, aux, value});
@@ -190,19 +197,21 @@ std::vector<TraceLog::Entry> TraceLog::snapshot() const {
 }
 
 std::uint64_t TraceLog::dropped() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return dropped_;
+  return dropped_.load(std::memory_order_relaxed);
 }
 
 void TraceLog::reset() noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
-  dropped_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+  full_.store(false, std::memory_order_relaxed);
   origin_ = std::chrono::steady_clock::now();
 }
 
 void TraceLog::write_json(JsonWriter& w) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  w.begin_object();
+  w.key("entries");
   w.begin_array();
   for (const Entry& e : entries_) {
     w.begin_object();
@@ -214,6 +223,8 @@ void TraceLog::write_json(JsonWriter& w) const {
     w.end_object();
   }
   w.end_array();
+  w.kv("dropped", dropped_.load(std::memory_order_relaxed));
+  w.end_object();
 }
 
 }  // namespace fg::util

@@ -8,6 +8,7 @@
 // benches can dump one blob per run that any downstream tool can parse.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -101,16 +102,21 @@ class TraceLog {
   std::uint64_t dropped() const noexcept;
   void reset() noexcept;
 
-  /// Emit the log as a JSON array of entry objects.
+  /// Emit the log as `{"entries":[…],"dropped":N}`.  The dropped count
+  /// travels with the data so a consumer can tell a short trace from a
+  /// truncated one.
   void write_json(JsonWriter& w) const;
 
  private:
   double now_seconds() const noexcept;
 
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;      // guards entries_ only
   std::vector<Entry> entries_;
   std::size_t max_entries_;
-  std::uint64_t dropped_{0};
+  // Once the log is full every record() increments this; keeping it
+  // atomic lets full-log recording and dropped() skip the entries mutex.
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> full_{false};
   std::chrono::steady_clock::time_point origin_;
 };
 

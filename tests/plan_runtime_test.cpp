@@ -362,7 +362,11 @@ TEST(Json, TraceLogExportsEntries) {
   EXPECT_EQ(log.dropped(), 1u);
   util::JsonWriter w;
   log.write_json(w);
+  // The log exports as {"entries":[...],"dropped":N} so the dropped count
+  // travels with the data.
+  EXPECT_NE(w.str().find("\"entries\":["), std::string::npos);
   EXPECT_NE(w.str().find("\"kind\":\"a\""), std::string::npos);
+  EXPECT_NE(w.str().find("\"dropped\":1"), std::string::npos);
 }
 
 }  // namespace

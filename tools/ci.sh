@@ -25,6 +25,22 @@ run_config() {
 run_config release -DCMAKE_BUILD_TYPE=Release -DFG_WERROR=ON
 run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFG_SANITIZE=thread
 
+# Observability round trip: run a small traced sort, validate both blobs
+# structurally (fgtrace --check exits nonzero on a malformed trace —
+# unpaired spans, missing thread names, round-id gaps), and keep the
+# bottleneck/occupancy report as a benchmark artifact.
+echo "==> traced sort + fgtrace check"
+obs_dir="$root/build-ci-release/obs-check"
+mkdir -p "$obs_dir"
+"$root/build-ci-release/tools/fgsort" --program dsort --nodes 4 \
+  --records 65536 --latency paper \
+  --trace-out "$obs_dir/trace.json" --stats-json "$obs_dir/stats.json"
+"$root/build-ci-release/tools/fgtrace" --check \
+  "$obs_dir/trace.json" "$obs_dir/stats.json"
+"$root/build-ci-release/tools/fgtrace" report --json \
+  "$obs_dir/trace.json" > "$root/BENCH_sort.json"
+echo "==> wrote BENCH_sort.json (wall time + per-stage occupancy)"
+
 # Chaos soak: replay the fault-injection suite under TSan with ten
 # distinct seeds.  Injection schedules are a pure function of the seed,
 # so each iteration exercises a different (but reproducible) failure

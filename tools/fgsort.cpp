@@ -25,7 +25,17 @@
 //                                        e.g. "disk.read.error=nth:40x3")
 //     --watchdog-ms N                   (abort a run whose pipelines make
 //                                        no progress for N ms; 0 = off)
+//     --trace-out FILE                  (write a Chrome-trace timeline of
+//                                        every worker thread; open it in
+//                                        Perfetto, or feed it to fgtrace.
+//                                        With --program all the program
+//                                        name is appended: FILE.dsort ...)
+//     --progress SECS                   (heartbeat to stderr every SECS
+//                                        seconds: rounds/s, disk MB/s,
+//                                        queue depths)
 #include "core/events.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/session.hpp"
 #include "sort/experiment.hpp"
 #include "sort/ssort.hpp"
 #include "util/fault.hpp"
@@ -33,11 +43,15 @@
 #include "util/table.hpp"
 #include "util/trace.hpp"
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -52,6 +66,8 @@ struct Options {
   std::optional<std::string> stats_json;
   std::optional<std::string> keep_dir;
   std::optional<std::string> fault_spec;
+  std::optional<std::string> trace_out;
+  int progress_secs{0};
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,7 +76,8 @@ struct Options {
                "          [--records N] [--record-bytes B] [--dist D]\n"
                "          [--seed S] [--latency paper|none] [--seek-aware]\n"
                "          [--stats] [--stats-json FILE] [--keep DIR]\n"
-               "          [--fault-spec SPEC] [--watchdog-ms N]\n",
+               "          [--fault-spec SPEC] [--watchdog-ms N]\n"
+               "          [--trace-out FILE] [--progress SECS]\n",
                argv0);
   std::exit(2);
 }
@@ -101,6 +118,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--keep") opt.keep_dir = need(i);
     else if (a == "--fault-spec") opt.fault_spec = need(i);
     else if (a == "--watchdog-ms") opt.cfg.watchdog_ms = static_cast<std::uint32_t>(std::atoi(need(i).c_str()));
+    else if (a == "--trace-out") opt.trace_out = need(i);
+    else if (a == "--progress") opt.progress_secs = std::atoi(need(i).c_str());
     else usage(argv[0]);
   }
   if (opt.program != "dsort" && opt.program != "csort" &&
@@ -127,6 +146,79 @@ struct RunReport {
   std::vector<comm::TrafficStats> traffic;  // per node
   util::RetryStats disk_retries;
   std::uint64_t faults_injected{0};
+  /// The run's observability session (finalized), when one was active;
+  /// the stats blob pulls its metrics registry from here.
+  std::shared_ptr<obs::Session> obs;
+};
+
+/// Periodic progress line on stderr, driven by the session's live
+/// metrics and the workspace's disk counters.  Runs on its own thread;
+/// stop() wakes and joins it.
+class Heartbeat {
+ public:
+  Heartbeat(const std::string& program, const obs::Session& session,
+            const pdm::Workspace& ws, int nodes, int period_secs)
+      : thread_([=, this, &session, &ws] {
+          run(program, session, ws, nodes, period_secs);
+        }) {}
+
+  ~Heartbeat() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (done_) return;
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run(const std::string& program, const obs::Session& session,
+           const pdm::Workspace& ws, int nodes, int period_secs) {
+    std::uint64_t last_rounds = 0;
+    std::uint64_t last_bytes = 0;
+    double elapsed = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (cv_.wait_for(lock, std::chrono::seconds(period_secs),
+                         [this] { return done_; })) {
+          return;
+        }
+      }
+      elapsed += period_secs;
+      const std::uint64_t rounds =
+          session.metrics().counter_value("pipeline.rounds");
+      std::uint64_t bytes = 0;
+      for (int n = 0; n < nodes; ++n) {
+        const pdm::IoStats s = ws.disk(n).stats();
+        bytes += s.bytes_read + s.bytes_written;
+      }
+      std::int64_t max_depth = 0;
+      for (const auto& [name, v] :
+           session.metrics().gauges_with_prefix("queue.")) {
+        max_depth = std::max(max_depth, v);
+      }
+      std::fprintf(stderr,
+                   "fgsort[%s]: +%.0fs  %.1f rounds/s  disk %.1f MB/s "
+                   "(%.1f per disk)  max queue depth %lld\n",
+                   program.c_str(), elapsed,
+                   static_cast<double>(rounds - last_rounds) / period_secs,
+                   static_cast<double>(bytes - last_bytes) / period_secs / 1e6,
+                   static_cast<double>(bytes - last_bytes) / period_secs /
+                       1e6 / nodes,
+                   static_cast<long long>(max_depth));
+      last_rounds = rounds;
+      last_bytes = bytes;
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_{false};
+  std::thread thread_;
 };
 
 RunReport run_one(const std::string& program, const Options& opt) {
@@ -154,14 +246,58 @@ RunReport run_one(const std::string& program, const Options& opt) {
     ws->set_retry_policy(util::RetryPolicy::standard(4, cfg.seed));
     cluster.fabric().set_fault_injector(&injector);
   }
+  // One observability session per program run: the sort drivers attach
+  // every pipeline graph to it, and the disk/fabric spans emitted by
+  // stage threads land in the same per-thread rings.
+  std::shared_ptr<obs::Session> session;
+  if (opt.trace_out || opt.progress_secs > 0 || opt.stats_json) {
+    session = std::make_shared<obs::Session>();
+    cfg.obs = session.get();
+  }
+  std::unique_ptr<Heartbeat> heartbeat;
+  if (session && opt.progress_secs > 0) {
+    heartbeat = std::make_unique<Heartbeat>(program, *session, *ws, cfg.nodes,
+                                            opt.progress_secs);
+  }
   RunReport report;
   report.program = program;
-  if (program == "dsort") {
-    report.result = sort::run_dsort(cluster, *ws, cfg);
-  } else if (program == "csort") {
-    report.result = sort::run_csort(cluster, *ws, cfg);
-  } else {
-    report.result = sort::run_ssort(cluster, *ws, cfg);
+  try {
+    if (program == "dsort") {
+      report.result = sort::run_dsort(cluster, *ws, cfg);
+    } else if (program == "csort") {
+      report.result = sort::run_csort(cluster, *ws, cfg);
+    } else {
+      report.result = sort::run_ssort(cluster, *ws, cfg);
+    }
+  } catch (...) {
+    if (heartbeat) heartbeat->stop();
+    throw;
+  }
+  if (heartbeat) heartbeat->stop();
+  if (session) {
+    session->finalize();  // all traced threads have joined
+    report.obs = session;
+    if (opt.trace_out) {
+      std::string path = *opt.trace_out;
+      if (opt.program == "all") path += "." + program;
+      util::JsonWriter w;
+      obs::write_chrome_trace(w, session->spans());
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "fgsort: cannot write '%s'\n", path.c_str());
+        std::exit(1);
+      }
+      std::fwrite(w.str().data(), 1, w.str().size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "fgsort[%s]: wrote trace to %s (%llu spans, "
+                   "%llu dropped)\n",
+                   program.c_str(), path.c_str(),
+                   static_cast<unsigned long long>(
+                       session->spans().merged().spans.size()),
+                   static_cast<unsigned long long>(
+                       session->spans().total_dropped()));
+    }
   }
   if (opt.fault_spec) {
     report.disk_retries = ws->total_retry_stats();
@@ -235,6 +371,10 @@ std::string stats_json_blob(const Options& opt,
     w.kv("exhausted", r.disk_retries.exhausted);
     w.end_object();
     w.kv("faults_injected", r.faults_injected);
+    if (r.obs) {
+      w.key("metrics");
+      r.obs->metrics().write_json(w);
+    }
     w.key("traffic");
     w.begin_object();
     w.key("per_node");
