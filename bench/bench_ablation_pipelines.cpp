@@ -79,7 +79,7 @@ struct AblationParams {
 
 /// Disjoint send/receive pipelines (the dsort way).
 double run_multi(const AblationParams& ap) {
-  comm::Cluster cluster(ap.nodes, ap.net);
+  comm::SimCluster cluster(ap.nodes, ap.net);
   util::Stopwatch wall;
   cluster.run([&](comm::NodeId me) {
     comm::Fabric& fabric = cluster.fabric();
@@ -142,7 +142,7 @@ double run_multi(const AblationParams& ap) {
 /// convey only one received message per round, so the rest piles up in a
 /// stash that is written serially when the pipeline ends.
 double run_single(const AblationParams& ap) {
-  comm::Cluster cluster(ap.nodes, ap.net);
+  comm::SimCluster cluster(ap.nodes, ap.net);
   util::Stopwatch wall;
   cluster.run([&](comm::NodeId me) {
     comm::Fabric& fabric = cluster.fabric();

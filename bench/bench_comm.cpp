@@ -17,7 +17,7 @@ using namespace fg;
 
 void BM_SendRecv(benchmark::State& state, bool modeled) {
   const auto bytes = static_cast<std::size_t>(state.range(0));
-  comm::Fabric fabric(2, modeled ? util::LatencyModel::of(50, 240)
+  comm::SimFabric fabric(2, modeled ? util::LatencyModel::of(50, 240)
                                  : util::LatencyModel::free());
   std::vector<std::byte> payload(bytes), sink(bytes);
   for (auto _ : state) {
@@ -29,7 +29,7 @@ void BM_SendRecv(benchmark::State& state, bool modeled) {
 
 void BM_PingPongThreads(benchmark::State& state) {
   // Realistic two-thread ping-pong through the fabric (no model).
-  comm::Fabric fabric(2);
+  comm::SimFabric fabric(2);
   std::vector<std::byte> ball(64);
   const int n = 2000;
   for (auto _ : state) {
@@ -55,7 +55,7 @@ void BM_PingPongThreads(benchmark::State& state) {
 void BM_Alltoall(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const std::size_t block = 4096;
-  comm::Cluster cluster(p);
+  comm::SimCluster cluster(p);
   for (auto _ : state) {
     const auto t0 = util::Clock::now();
     cluster.run([&](comm::NodeId me) {
@@ -72,7 +72,7 @@ void BM_Alltoall(benchmark::State& state) {
 
 void BM_Barrier(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
-  comm::Cluster cluster(p);
+  comm::SimCluster cluster(p);
   for (auto _ : state) {
     const auto t0 = util::Clock::now();
     cluster.run([&](comm::NodeId me) {

@@ -30,7 +30,7 @@ apps::PermuteConfig bench_config(std::uint64_t records) {
 double run_case(const apps::PermuteConfig& cfg, const apps::IndexMap& map) {
   const auto lat = sort::LatencyProfile::paper_like();
   pdm::Workspace ws(cfg.nodes, lat.disk);
-  comm::Cluster cluster(cfg.nodes, lat.net);
+  comm::SimCluster cluster(cfg.nodes, lat.net);
   sort::SortConfig g;
   g.nodes = cfg.nodes;
   g.records = cfg.records;

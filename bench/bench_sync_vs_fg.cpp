@@ -20,7 +20,7 @@ namespace {
 fg::sort::ProgramOutcome run_ssort_program(const fg::sort::SortConfig& cfg,
                                            const fg::sort::LatencyProfile& lat) {
   fg::pdm::Workspace ws(cfg.nodes, lat.disk);
-  fg::comm::Cluster cluster(cfg.nodes, lat.net);
+  fg::comm::SimCluster cluster(cfg.nodes, lat.net);
   fg::sort::generate_input(ws, cfg);
   fg::sort::SortConfig run_cfg = cfg;
   run_cfg.compute_model = lat.compute;

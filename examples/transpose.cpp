@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   const auto lat = fg::sort::LatencyProfile::paper_like();
   fg::pdm::Workspace ws(nodes, lat.disk);
-  fg::comm::Cluster cluster(nodes, lat.net);
+  fg::comm::SimCluster cluster(nodes, lat.net);
 
   fg::sort::SortConfig gen;
   gen.nodes = nodes;

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   const std::uint64_t blocks = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32;
   constexpr std::size_t kWordsPerBlock = 2048;
 
-  fg::comm::Cluster cluster(nodes, fg::util::LatencyModel::of(100, 500));
+  fg::comm::SimCluster cluster(nodes, fg::util::LatencyModel::of(100, 500));
 
   std::mutex table_mutex;
   std::map<std::string, std::uint64_t> global_counts;

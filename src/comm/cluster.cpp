@@ -7,10 +7,10 @@
 
 namespace fg::comm {
 
-void Cluster::run(const std::function<void(NodeId)>& node_main) {
+void SimCluster::run(const std::function<void(NodeId)>& node_main) {
   if (fabric_.aborted()) {
     throw std::logic_error(
-        "fg::comm::Cluster::run: fabric aborted by an earlier failure");
+        "fg::comm::SimCluster::run: fabric aborted by an earlier failure");
   }
   std::mutex err_mutex;
   std::exception_ptr first_error;
@@ -33,6 +33,27 @@ void Cluster::run(const std::function<void(NodeId)>& node_main) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void TcpCluster::run(const std::function<void(NodeId)>& node_main) {
+  if (fabric_.aborted()) {
+    throw std::logic_error(
+        "fg::comm::TcpCluster::run: fabric aborted by an earlier failure");
+  }
+  try {
+    node_main(rank());
+    // Phase join: SimCluster's thread join guarantees no node starts the
+    // next phase while another is still in this one; across processes the
+    // same guarantee needs a barrier, or a fast rank's next-phase traffic
+    // could reach a peer still draining this phase's wildcard receives.
+    fabric_.barrier(rank());
+  } catch (const FabricAborted&) {
+    // A peer failed (it already aborted the fabric); just unwind.
+    throw;
+  } catch (...) {
+    fabric_.abort();
+    throw;
+  }
 }
 
 }  // namespace fg::comm

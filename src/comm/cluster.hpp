@@ -1,10 +1,24 @@
-// Runs a "cluster" program: one function per node, each on its own
-// thread, all sharing one Fabric.  This is the harness that stands in for
-// mpirun: node programs typically build FG pipeline graphs and call
-// fabric operations from their stages.
+// Runs a "cluster" program against a fabric backend.  This is the harness
+// that stands in for mpirun: node programs typically build FG pipeline
+// graphs and call fabric operations from their stages.
+//
+// Two shapes:
+//
+//   - SimCluster: the whole cluster in one process — run() executes
+//     node_main(rank) on one thread per node, all sharing one SimFabric.
+//   - TcpCluster: this process is ONE node of a multi-process cluster —
+//     run() executes node_main(local rank) on the calling thread over a
+//     connected TcpFabric, and joins the phase with a cluster-wide
+//     barrier so multi-phase programs stay in step across processes the
+//     way SimCluster's thread join keeps them in step within one.
+//
+// Either way, a node program that throws aborts the fabric so every other
+// node's blocked communication calls unwind instead of hanging.
 #pragma once
 
 #include "comm/fabric.hpp"
+#include "comm/sim_fabric.hpp"
+#include "comm/tcp_fabric.hpp"
 
 #include <functional>
 
@@ -12,24 +26,58 @@ namespace fg::comm {
 
 class Cluster {
  public:
-  /// @param nodes    cluster size P
-  /// @param network  latency model applied to every message
-  explicit Cluster(int nodes,
-                   util::LatencyModel network = util::LatencyModel::free())
-      : fabric_(nodes, network) {}
+  virtual ~Cluster() = default;
 
-  Fabric& fabric() noexcept { return fabric_; }
-  int size() const noexcept { return fabric_.size(); }
+  virtual Fabric& fabric() noexcept = 0;
+  const Fabric& fabric() const noexcept {
+    return const_cast<Cluster*>(this)->fabric();
+  }
+  int size() const noexcept { return fabric().size(); }
 
-  /// Execute `node_main(rank)` on `size()` threads and join.  If any node
-  /// program throws, the fabric is aborted (so the other nodes' blocked
-  /// communication calls unwind) and the first exception is rethrown.
+  /// Execute one phase of the cluster program: every node of the cluster
+  /// runs `node_main(rank)` to completion before run() returns.  If any
+  /// node program throws, the fabric is aborted (so the other nodes'
+  /// blocked communication calls unwind) and the failure is rethrown.
   /// May be called repeatedly for multi-phase programs, as long as no
   /// previous phase failed.
-  void run(const std::function<void(NodeId)>& node_main);
+  virtual void run(const std::function<void(NodeId)>& node_main) = 0;
+};
+
+class SimCluster final : public Cluster {
+ public:
+  /// @param nodes    cluster size P
+  /// @param network  latency model applied to every message
+  explicit SimCluster(int nodes,
+                      util::LatencyModel network = util::LatencyModel::free())
+      : fabric_(nodes, network) {}
+
+  SimFabric& fabric() noexcept override { return fabric_; }
+
+  /// Executes node_main(rank) on size() threads and joins; the first
+  /// exception wins and is rethrown after every thread has unwound.
+  void run(const std::function<void(NodeId)>& node_main) override;
 
  private:
-  Fabric fabric_;
+  SimFabric fabric_;
+};
+
+class TcpCluster final : public Cluster {
+ public:
+  /// @param fabric  a connected TcpFabric for this process's rank; must
+  ///                outlive the cluster.
+  explicit TcpCluster(TcpFabric& fabric) : fabric_(fabric) {}
+
+  TcpFabric& fabric() noexcept override { return fabric_; }
+  NodeId rank() const noexcept { return fabric_.rank(); }
+
+  /// Executes node_main(rank()) on the calling thread, then joins the
+  /// phase with a cluster-wide barrier.  A local failure aborts the
+  /// fabric (propagating to every peer process) and is rethrown; a
+  /// remote failure surfaces here as FabricAborted.
+  void run(const std::function<void(NodeId)>& node_main) override;
+
+ private:
+  TcpFabric& fabric_;
 };
 
 }  // namespace fg::comm

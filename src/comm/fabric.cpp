@@ -5,19 +5,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <unordered_map>
 
 namespace fg::comm {
 
 namespace {
-
-// Internal tags for collectives.  User tags are required to be >= 0, so
-// these can never collide with application traffic.
-constexpr int kTagBarrierArrive = -2;
-constexpr int kTagBarrierRelease = -3;
-constexpr int kTagBroadcast = -4;
-constexpr int kTagAlltoall = -5;
-constexpr int kTagGather = -6;
 
 std::span<const std::byte> as_bytes_span(const std::uint64_t* p,
                                          std::size_t n) {
@@ -26,22 +17,21 @@ std::span<const std::byte> as_bytes_span(const std::uint64_t* p,
 
 }  // namespace
 
-Fabric::Fabric(int nodes, util::LatencyModel model) : model_(model) {
+Fabric::Fabric(int nodes) : nodes_(nodes) {
   if (nodes <= 0) {
     throw std::invalid_argument("fg::comm::Fabric: need at least one node");
   }
-  mailboxes_.reserve(static_cast<std::size_t>(nodes));
-  for (int i = 0; i < nodes; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-  }
   traffic_.resize(static_cast<std::size_t>(nodes));
   crashed_ = std::vector<std::atomic<bool>>(static_cast<std::size_t>(nodes));
+  coll_seq_ = std::vector<std::atomic<std::uint32_t>>(
+      static_cast<std::size_t>(nodes) *
+      static_cast<std::size_t>(Coll::kCount));
 }
 
 void Fabric::check_crash(NodeId node) {
   std::atomic<bool>& flag = crashed_[static_cast<std::size_t>(node)];
   if (flag.load(std::memory_order_relaxed)) throw FabricNodeCrashed(node);
-  fault::Injector* inj = injector_.load(std::memory_order_relaxed);
+  fault::Injector* inj = injector();
   if (inj && inj->fire(fault::kFabricCrash, node)) {
     flag.store(true, std::memory_order_relaxed);
     throw FabricNodeCrashed(node);
@@ -55,6 +45,24 @@ void Fabric::check_node(NodeId n, const char* what) const {
   }
 }
 
+std::uint32_t Fabric::next_seq(NodeId me, Coll op) {
+  const std::size_t idx =
+      static_cast<std::size_t>(me) * static_cast<std::size_t>(Coll::kCount) +
+      static_cast<std::size_t>(op);
+  return coll_seq_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+int Fabric::coll_tag(Coll op, int phase, std::uint32_t seq) {
+  // Tags -2 and below, laid out as slot + stride * (seq mod window).  The
+  // window keeps the tag within int range; 2^20 outstanding rounds of one
+  // kind per wrap is far beyond any plausible overlap.
+  constexpr int kPhases = 2;
+  constexpr int kStride = static_cast<int>(Coll::kCount) * kPhases;
+  constexpr std::uint32_t kWindow = 1u << 20;
+  const int slot = static_cast<int>(op) * kPhases + phase;
+  return -2 - (slot + kStride * static_cast<int>(seq % kWindow));
+}
+
 void Fabric::send(NodeId src, NodeId dst, int tag,
                   std::span<const std::byte> data) {
   if (tag < 0) {
@@ -62,15 +70,15 @@ void Fabric::send(NodeId src, NodeId dst, int tag,
         "fg::comm::Fabric::send: application tags must be >= 0");
   }
   // Spans wrap only the public entry points (and each collective as one
-  // unit); the *_internal helpers stay silent so collective traffic is not
+  // unit); the payload helpers stay silent so collective traffic is not
   // double-counted as point-to-point sends.
   obs::ScopedSpan span(obs::SpanKind::kFabricSend,
                        static_cast<std::uint32_t>(src), data.size());
-  send_internal(src, dst, tag, data);
+  send_payload(src, dst, tag, data);
 }
 
-void Fabric::send_internal(NodeId src, NodeId dst, int tag,
-                           std::span<const std::byte> data) {
+void Fabric::send_payload(NodeId src, NodeId dst, int tag,
+                          std::span<const std::byte> data) {
   check_node(src, "send");
   check_node(dst, "send");
   check_crash(src);
@@ -78,7 +86,7 @@ void Fabric::send_internal(NodeId src, NodeId dst, int tag,
 
   // Injected wire faults; self-sends never touch the wire, so they can
   // neither be dropped nor delayed.
-  fault::Injector* inj = injector_.load(std::memory_order_relaxed);
+  fault::Injector* inj = injector();
   if (src != dst && inj && inj->fire(fault::kFabricDrop, src)) {
     std::lock_guard<std::mutex> lock(traffic_mutex_);
     auto& t = traffic_[static_cast<std::size_t>(src)];
@@ -93,32 +101,7 @@ void Fabric::send_internal(NodeId src, NodeId dst, int tag,
         delay_spike_ns_.load(std::memory_order_relaxed)));
   }
 
-  Message m;
-  m.src = src;
-  m.tag = tag;
-  m.payload.assign(data.begin(), data.end());
-
-  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
-  {
-    std::lock_guard<std::mutex> lock(mb.mutex);
-    // Non-overtaking delivery per (src, dst) channel, like MPI: a message
-    // may not be delivered before an earlier message on the same channel,
-    // even if it is smaller and would otherwise "arrive" sooner.  A node
-    // sending to itself never touches the wire, so it pays no latency.
-    const util::TimePoint earliest =
-        util::Clock::now() + spike +
-        (src == dst ? util::Duration::zero() : model_.cost(data.size()));
-    util::TimePoint floor{};
-    for (auto it = mb.messages.rbegin(); it != mb.messages.rend(); ++it) {
-      if (it->src == src) {
-        floor = it->deliver_at;
-        break;
-      }
-    }
-    m.deliver_at = std::max(earliest, floor);
-    mb.messages.push_back(std::move(m));
-  }
-  mb.cv.notify_all();
+  send_message(src, dst, tag, data, spike);
 
   {
     std::lock_guard<std::mutex> lock(traffic_mutex_);
@@ -136,83 +119,29 @@ RecvResult Fabric::recv(NodeId me, NodeId src, int tag,
   }
   obs::ScopedSpan span(obs::SpanKind::kFabricRecv,
                        static_cast<std::uint32_t>(me));
-  const RecvResult r = recv_internal(me, src, tag, out);
+  const RecvResult r = recv_payload(me, src, tag, out);
   span.set_value(r.bytes);  // size known only after the message arrives
   return r;
 }
 
-RecvResult Fabric::recv_internal(NodeId me, NodeId src, int tag,
-                                 std::span<std::byte> out) {
+RecvResult Fabric::recv_payload(NodeId me, NodeId src, int tag,
+                                std::span<std::byte> out) {
   check_node(me, "recv");
   if (src != kAnySource) check_node(src, "recv");
   check_crash(me);
 
-  const std::int64_t deadline_ns =
-      recv_deadline_ns_.load(std::memory_order_relaxed);
-  const bool bounded = deadline_ns > 0;
-  const util::TimePoint expiry =
-      util::Clock::now() + std::chrono::duration_cast<util::Duration>(
-                               std::chrono::nanoseconds(deadline_ns));
-  const auto timed_out = [&] {
-    return FabricTimeout("fg::comm::Fabric::recv: node " + std::to_string(me) +
-                         " timed out waiting for src=" + std::to_string(src) +
-                         " tag=" + std::to_string(tag));
-  };
+  const RecvResult r = recv_message(me, src, tag, out);
 
-  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
-  std::unique_lock<std::mutex> lock(mb.mutex);
-  for (;;) {
-    if (aborted()) throw FabricAborted{};
-
-    auto best = mb.messages.end();
-    for (auto it = mb.messages.begin(); it != mb.messages.end(); ++it) {
-      if (src != kAnySource && it->src != src) continue;
-      if (tag != kAnyTag && it->tag != tag) continue;
-      if (best == mb.messages.end() || it->deliver_at < best->deliver_at) {
-        best = it;
-      }
-    }
-    if (best != mb.messages.end()) {
-      const util::TimePoint now = util::Clock::now();
-      if (best->deliver_at <= now) {
-        if (best->payload.size() > out.size()) {
-          throw std::length_error(
-              "fg::comm::Fabric::recv: message larger than receive buffer");
-        }
-        RecvResult r{best->src, best->tag, best->payload.size()};
-        std::memcpy(out.data(), best->payload.data(), best->payload.size());
-        mb.messages.erase(best);
-        lock.unlock();
-        std::lock_guard<std::mutex> tl(traffic_mutex_);
-        auto& t = traffic_[static_cast<std::size_t>(me)];
-        ++t.messages_received;
-        t.bytes_received += r.bytes;
-        return r;
-      }
-      if (bounded && now >= expiry) throw timed_out();
-      mb.cv.wait_until(lock,
-                       bounded ? std::min(best->deliver_at, expiry)
-                               : best->deliver_at);
-    } else if (bounded) {
-      if (util::Clock::now() >= expiry) throw timed_out();
-      mb.cv.wait_until(lock, expiry);
-    } else {
-      mb.cv.wait(lock);
-    }
-  }
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
+  auto& t = traffic_[static_cast<std::size_t>(me)];
+  ++t.messages_received;
+  t.bytes_received += r.bytes;
+  return r;
 }
 
 bool Fabric::probe(NodeId me, NodeId src, int tag) const {
   check_node(me, "probe");
-  const Mailbox& mb = *mailboxes_[static_cast<std::size_t>(me)];
-  std::lock_guard<std::mutex> lock(mb.mutex);
-  const util::TimePoint now = util::Clock::now();
-  for (const auto& m : mb.messages) {
-    if (src != kAnySource && m.src != src) continue;
-    if (tag != kAnyTag && m.tag != tag) continue;
-    if (m.deliver_at <= now) return true;
-  }
-  return false;
+  return probe_message(me, src, tag);
 }
 
 void Fabric::barrier(NodeId me) {
@@ -220,6 +149,9 @@ void Fabric::barrier(NodeId me) {
   if (size() == 1) return;
   obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
                        static_cast<std::uint32_t>(me));
+  const std::uint32_t seq = next_seq(me, Coll::kBarrier);
+  const int arrive = coll_tag(Coll::kBarrier, 0, seq);
+  const int release = coll_tag(Coll::kBarrier, 1, seq);
   std::byte token{};
   if (me == 0) {
     // Collect one arrival from every other node (matched by explicit
@@ -227,15 +159,15 @@ void Fabric::barrier(NodeId me) {
     // then release everyone.
     std::byte sink{};
     for (NodeId n = 1; n < size(); ++n) {
-      recv_internal(0, n, kTagBarrierArrive, {&sink, 1});
+      recv_payload(0, n, arrive, {&sink, 1});
     }
     for (NodeId n = 1; n < size(); ++n) {
-      send_internal(0, n, kTagBarrierRelease, {&token, 1});
+      send_payload(0, n, release, {&token, 1});
     }
   } else {
-    send_internal(me, 0, kTagBarrierArrive, {&token, 1});
+    send_payload(me, 0, arrive, {&token, 1});
     std::byte sink{};
-    recv_internal(me, 0, kTagBarrierRelease, {&sink, 1});
+    recv_payload(me, 0, release, {&sink, 1});
   }
 }
 
@@ -245,13 +177,14 @@ void Fabric::broadcast(NodeId me, NodeId root, std::span<std::byte> data) {
   if (size() == 1) return;
   obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
                        static_cast<std::uint32_t>(me), data.size());
+  const int tag = coll_tag(Coll::kBroadcast, 0, next_seq(me, Coll::kBroadcast));
   if (me == root) {
     for (NodeId n = 0; n < size(); ++n) {
       if (n == root) continue;
-      send_internal(root, n, kTagBroadcast, data);
+      send_payload(root, n, tag, data);
     }
   } else {
-    recv_internal(me, root, kTagBroadcast, data);
+    recv_payload(me, root, tag, data);
   }
 }
 
@@ -266,21 +199,22 @@ void Fabric::alltoall(NodeId me, std::span<const std::byte> send_data,
     throw std::length_error(
         "fg::comm::Fabric::alltoall: buffers must hold size() blocks");
   }
+  const int tag = coll_tag(Coll::kAlltoall, 0, next_seq(me, Coll::kAlltoall));
   // Local block moves without touching the wire, as in any MPI.
   std::memcpy(recv_data.data() + static_cast<std::size_t>(me) * block_bytes,
               send_data.data() + static_cast<std::size_t>(me) * block_bytes,
               block_bytes);
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;
-    send_internal(me, n, kTagAlltoall,
-                  send_data.subspan(static_cast<std::size_t>(n) * block_bytes,
-                                    block_bytes));
+    send_payload(me, n, tag,
+                 send_data.subspan(static_cast<std::size_t>(n) * block_bytes,
+                                   block_bytes));
   }
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;
-    recv_internal(me, n, kTagAlltoall,
-                  recv_data.subspan(static_cast<std::size_t>(n) * block_bytes,
-                                    block_bytes));
+    recv_payload(me, n, tag,
+                 recv_data.subspan(static_cast<std::size_t>(n) * block_bytes,
+                                   block_bytes));
   }
 }
 
@@ -294,28 +228,39 @@ std::vector<std::size_t> Fabric::alltoallv(
     throw std::invalid_argument(
         "fg::comm::Fabric::alltoallv: need one send block per node");
   }
+  const int tag = coll_tag(Coll::kAlltoallv, 0, next_seq(me, Coll::kAlltoallv));
   std::vector<std::size_t> sizes(static_cast<std::size_t>(size()), 0);
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;
-    send_internal(me, n, kTagAlltoall, send[static_cast<std::size_t>(n)]);
+    send_payload(me, n, tag, send[static_cast<std::size_t>(n)]);
   }
+  const auto too_small = [] {
+    return std::length_error(
+        "fg::comm::Fabric::alltoallv: receive buffer too small");
+  };
   std::size_t offset = 0;
   for (NodeId n = 0; n < size(); ++n) {
+    // Guard before forming any subspan or unsigned difference: once the
+    // buffer is exhausted, every remaining block must be empty.
+    if (offset > recv_all.size()) throw too_small();
     if (n == me) {
       const auto& mine = send[static_cast<std::size_t>(me)];
-      if (mine.size() > recv_all.size() - offset) {
-        throw std::length_error(
-            "fg::comm::Fabric::alltoallv: receive buffer too small");
-      }
+      if (mine.size() > recv_all.size() - offset) throw too_small();
       std::memcpy(recv_all.data() + offset, mine.data(), mine.size());
       sizes[static_cast<std::size_t>(me)] = mine.size();
       offset += mine.size();
       continue;
     }
-    const RecvResult r =
-        recv_internal(me, n, kTagAlltoall, recv_all.subspan(offset));
-    sizes[static_cast<std::size_t>(n)] = r.bytes;
-    offset += r.bytes;
+    try {
+      const RecvResult r =
+          recv_payload(me, n, tag, recv_all.subspan(offset));
+      sizes[static_cast<std::size_t>(n)] = r.bytes;
+      offset += r.bytes;
+    } catch (const std::length_error&) {
+      // Rethrow with the collective's own context: the caller sized
+      // recv_all, not an individual receive buffer.
+      throw too_small();
+    }
   }
   return sizes;
 }
@@ -332,9 +277,9 @@ void Fabric::sendrecv_replace(NodeId me, NodeId dst, NodeId src, int tag,
   if (dst == me && src == me) return;  // exchange with self is a no-op
   obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
                        static_cast<std::uint32_t>(me), data.size());
-  send_internal(me, dst, tag, data);
+  send_payload(me, dst, tag, data);
   std::vector<std::byte> tmp(data.size());
-  recv_internal(me, src, tag, tmp);
+  recv_payload(me, src, tag, tmp);
   std::memcpy(data.data(), tmp.data(), data.size());
 }
 
@@ -343,17 +288,18 @@ std::vector<std::uint64_t> Fabric::allgather_u64(NodeId me,
   check_node(me, "allgather_u64");
   obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
                        static_cast<std::uint32_t>(me));
+  const int tag =
+      coll_tag(Coll::kAllgather, 0, next_seq(me, Coll::kAllgather));
   std::vector<std::uint64_t> all(static_cast<std::size_t>(size()), 0);
   all[static_cast<std::size_t>(me)] = value;
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;
-    send_internal(me, n, kTagGather, as_bytes_span(&value, 1));
+    send_payload(me, n, tag, as_bytes_span(&value, 1));
   }
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;
     std::uint64_t v = 0;
-    recv_internal(me, n, kTagGather,
-                  {reinterpret_cast<std::byte*>(&v), sizeof v});
+    recv_payload(me, n, tag, {reinterpret_cast<std::byte*>(&v), sizeof v});
     all[static_cast<std::size_t>(n)] = v;
   }
   return all;
@@ -364,25 +310,22 @@ std::vector<std::uint64_t> Fabric::allreduce_sum_u64(
   check_node(me, "allreduce_sum_u64");
   obs::ScopedSpan span(obs::SpanKind::kFabricCollective,
                        static_cast<std::uint32_t>(me));
+  const int tag =
+      coll_tag(Coll::kAllreduce, 0, next_seq(me, Coll::kAllreduce));
   std::vector<std::uint64_t> sum(values.begin(), values.end());
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;
-    send_internal(me, n, kTagGather, as_bytes_span(values.data(), values.size()));
+    send_payload(me, n, tag, as_bytes_span(values.data(), values.size()));
   }
   std::vector<std::uint64_t> incoming(values.size());
   for (NodeId n = 0; n < size(); ++n) {
     if (n == me) continue;
-    recv_internal(me, n, kTagGather,
-                  {reinterpret_cast<std::byte*>(incoming.data()),
-                   incoming.size() * sizeof(std::uint64_t)});
+    recv_payload(me, n, tag,
+                 {reinterpret_cast<std::byte*>(incoming.data()),
+                  incoming.size() * sizeof(std::uint64_t)});
     for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += incoming[i];
   }
   return sum;
-}
-
-void Fabric::abort() {
-  aborted_.store(true, std::memory_order_relaxed);
-  for (auto& mb : mailboxes_) mb->cv.notify_all();
 }
 
 TrafficStats Fabric::stats(NodeId node) const {

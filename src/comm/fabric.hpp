@@ -1,31 +1,39 @@
 // The interprocessor-communication substrate.
 //
 // The paper ran on a 16-node Beowulf cluster with a thread-safe commercial
-// MPI (ChaMPIon/Pro) over 2 Gb/s Myrinet.  Locally we simulate the cluster
-// in one process: each "node" is a set of threads, and this Fabric carries
-// messages between nodes with an affine latency/bandwidth cost model.
+// MPI (ChaMPIon/Pro) over 2 Gb/s Myrinet.  This header defines the abstract
+// Fabric interface that stands in for that MPI: matched send/recv with tags,
+// MPI_Sendrecv_replace, MPI_Alltoall, plus the small collectives the sorting
+// programs need (barrier, broadcast, allgather, allreduce-style sums).
+// Everything is thread-safe: FG runs pipeline stages on many threads per
+// node, exactly as the paper requires of its MPI.
 //
-// The API mirrors the MPI subset the paper names — matched send/recv with
-// tags, MPI_Sendrecv_replace, MPI_Alltoall — plus the small collectives the
-// sorting programs need (barrier, broadcast, allgather, allreduce-style
-// sums).  Everything is thread-safe: FG runs pipeline stages on many
-// threads per node, exactly as the paper requires of its MPI.
+// Two backends implement the delivery hooks:
 //
-// Latency is charged as *delivery time*: send() computes the modeled cost
-// and stamps the message with the time at which it becomes visible; the
-// sender proceeds immediately (buffered send), and recv() blocks until a
-// matching message's delivery time has passed.  This keeps the wire "busy"
-// without blocking the sender, which is the regime in which overlapping
-// communication with computation pays off.
+//   - SimFabric (sim_fabric.hpp): the whole cluster in one process, each
+//     "node" a set of threads, with an affine latency/bandwidth cost model
+//     charged as *delivery time*.
+//   - TcpFabric (tcp_fabric.hpp): each node its own OS process, one
+//     full-duplex TCP connection per peer, a per-peer receiver thread
+//     feeding the same matched-message queue.
+//
+// The base class implements everything above the wire once — argument
+// validation, fault injection (drop/delay/crash), traffic counters, comm
+// spans, and all collectives layered on matched send/recv — so the two
+// backends cannot drift in semantics, only in transport.
+//
+// Collectives travel on internal (negative) tags that encode both the
+// collective kind and a per-node sequence number, so concurrent collectives
+// of different kinds (or successive rounds of the same kind) can never
+// cross-match each other's messages.  User tags must be >= 0; the kAnyTag
+// wildcard matches application tags only.
 #pragma once
 
 #include "util/latency.hpp"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -45,7 +53,8 @@ using NodeId = int;
 /// Wildcard source for recv().
 inline constexpr NodeId kAnySource = -1;
 /// Wildcard tag for recv().  User tags must be non-negative; negative tags
-/// are reserved for the fabric's internal collectives.
+/// are reserved for the fabric's internal collectives, and the wildcard
+/// matches application tags only.
 inline constexpr int kAnyTag = -1;
 
 /// Thrown out of blocked fabric calls when the cluster aborts (some node
@@ -82,6 +91,8 @@ struct RecvResult {
 };
 
 /// Per-node traffic counters (bytes at the application payload level).
+/// Backends count only the traffic they can see: SimFabric carries every
+/// node, TcpFabric only its local rank (remote ranks read as zero).
 struct TrafficStats {
   std::uint64_t messages_sent{0};
   std::uint64_t bytes_sent{0};
@@ -95,15 +106,13 @@ struct TrafficStats {
 class Fabric {
  public:
   /// @param nodes  cluster size P
-  /// @param model  per-message cost; delivery time = send time + cost
-  explicit Fabric(int nodes,
-                  util::LatencyModel model = util::LatencyModel::free());
+  explicit Fabric(int nodes);
+  virtual ~Fabric() = default;
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
-  const util::LatencyModel& model() const noexcept { return model_; }
+  int size() const noexcept { return nodes_; }
 
   // -- point-to-point -------------------------------------------------------
 
@@ -122,6 +131,9 @@ class Fabric {
 
   // -- collectives ----------------------------------------------------------
   // Every node of the cluster must call these, like their MPI namesakes.
+  // Within one node, collectives of the same kind must be issued in the
+  // same order on every node (the MPI rule); collectives of *different*
+  // kinds may overlap freely across stage threads.
 
   /// Synchronize all nodes.
   void barrier(NodeId me);
@@ -157,15 +169,16 @@ class Fabric {
   std::vector<std::uint64_t> allreduce_sum_u64(
       NodeId me, std::span<const std::uint64_t> values);
 
-  // -- control ----------------------------------------------------------------
+  // -- control --------------------------------------------------------------
 
   /// Wake all blocked calls with FabricAborted; used for error unwinding.
-  void abort();
+  /// TcpFabric additionally propagates the abort to every peer process.
+  virtual void abort() = 0;
   bool aborted() const noexcept {
     return aborted_.load(std::memory_order_relaxed);
   }
 
-  // -- fault injection --------------------------------------------------------
+  // -- fault injection ------------------------------------------------------
 
   /// Attach a fault injector: sends consult fabric.drop / fabric.delay
   /// (node = sender) and every call consults fabric.crash.  Pass nullptr
@@ -206,38 +219,79 @@ class Fabric {
   /// Per-node traffic counters (application payload bytes).
   TrafficStats stats(NodeId node) const;
 
- private:
-  struct Message {
-    NodeId src;
-    int tag;
-    std::vector<std::byte> payload;
-    util::TimePoint deliver_at;
-  };
+ protected:
+  // -- backend delivery hooks -----------------------------------------------
+  // Arguments arrive pre-validated (ranks in range, sender not crashed,
+  // fabric not aborted); internal collective traffic uses negative tags.
 
-  struct Mailbox {
-    mutable std::mutex mutex;
-    std::condition_variable cv;
-    std::list<Message> messages;
-  };
+  /// Deliver `data` from src to dst; `extra_delay` is injected wire delay
+  /// (zero normally) to be applied before the message becomes deliverable.
+  virtual void send_message(NodeId src, NodeId dst, int tag,
+                            std::span<const std::byte> data,
+                            util::Duration extra_delay) = 0;
+
+  /// Blocking matched receive honoring recv_deadline(); throws
+  /// FabricAborted / FabricTimeout / std::length_error like recv().
+  virtual RecvResult recv_message(NodeId me, NodeId src, int tag,
+                                  std::span<std::byte> out) = 0;
+
+  /// Non-blocking availability check.
+  virtual bool probe_message(NodeId me, NodeId src, int tag) const = 0;
+
+  // -- shared plumbing for backends and the collective layer ----------------
 
   void check_node(NodeId n, const char* what) const;
   /// Throws FabricNodeCrashed if `node` is crashed, or if the injector's
   /// fabric.crash site fires for it now (marking it crashed from then on).
   void check_crash(NodeId node);
-  void send_internal(NodeId src, NodeId dst, int tag,
-                     std::span<const std::byte> data);
-  RecvResult recv_internal(NodeId me, NodeId src, int tag,
-                           std::span<std::byte> out);
+  void mark_aborted() noexcept {
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+  fault::Injector* injector() const noexcept {
+    return injector_.load(std::memory_order_relaxed);
+  }
 
-  util::LatencyModel model_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<TrafficStats> traffic_;          // guarded by traffic_mutex_
+  /// Validation + fault injection + traffic counting around send_message.
+  /// Accepts internal (negative) tags; the public send() rejects them.
+  void send_payload(NodeId src, NodeId dst, int tag,
+                    std::span<const std::byte> data);
+  /// Validation + traffic counting around recv_message.
+  RecvResult recv_payload(NodeId me, NodeId src, int tag,
+                          std::span<std::byte> out);
+
+  /// The collective kinds, each with its own internal tag space.
+  enum class Coll : int {
+    kBarrier = 0,
+    kBroadcast,
+    kAlltoall,
+    kAlltoallv,
+    kAllgather,
+    kAllreduce,
+    kCount  // sentinel
+  };
+
+  /// Claim the next sequence number for a (node, kind) pair.  Each node
+  /// numbers its own collectives; because every node must issue same-kind
+  /// collectives in the same order, round i on one node pairs with round i
+  /// everywhere.
+  std::uint32_t next_seq(NodeId me, Coll op);
+
+  /// Internal tag for round `seq` of collective `op`.  `phase` separates
+  /// the sub-steps of one round (barrier arrive vs release).  Always < -1,
+  /// so it can never collide with user tags or the kAnyTag wildcard.
+  static int coll_tag(Coll op, int phase, std::uint32_t seq);
+
+ private:
+  int nodes_;
+  std::vector<TrafficStats> traffic_;  // guarded by traffic_mutex_
   mutable std::mutex traffic_mutex_;
   std::atomic<bool> aborted_{false};
   std::atomic<fault::Injector*> injector_{nullptr};
   std::atomic<std::int64_t> recv_deadline_ns_{0};
   std::atomic<std::int64_t> delay_spike_ns_{2'000'000};  // 2 ms
   std::vector<std::atomic<bool>> crashed_;
+  /// One counter per (node, collective kind); indexed node * kCount + kind.
+  std::vector<std::atomic<std::uint32_t>> coll_seq_;
 };
 
 }  // namespace fg::comm

@@ -1,0 +1,473 @@
+#include "comm/tcp_fabric.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fg::comm {
+
+namespace {
+
+// "FGH1" / "FGF1": hello and frame magics, little-endian on the wire.
+constexpr std::uint32_t kHelloMagic = 0x31484746u;
+constexpr std::uint32_t kFrameMagic = 0x31464746u;
+
+constexpr std::uint8_t kFrameData = 0;
+constexpr std::uint8_t kFrameAbort = 1;
+constexpr std::uint8_t kFrameBye = 2;
+
+// magic u32 + type u8 + tag i32 + seq u32 + len u64 + delay u64.
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8;
+constexpr std::size_t kHelloBytes = 4 + 4;
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::byte>(v >> (8 * i));
+}
+
+void put_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::byte>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Read exactly `len` bytes.  Returns 1 on success, 0 on clean EOF at a
+/// frame boundary, -1 on error or truncated stream.
+int read_full(int fd, std::byte* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n == 0) return got == 0 ? 0 : -1;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+/// Write exactly `len` bytes; returns false on any error (e.g. EPIPE once
+/// the peer is gone).  MSG_NOSIGNAL keeps a dead peer from killing the
+/// process with SIGPIPE.
+bool write_full(int fd, const std::byte* buf, std::size_t len) {
+  std::size_t put = 0;
+  while (put < len) {
+    const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("fg::comm::TcpFabric: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+TcpEndpoint parse_endpoint(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument(
+        "fg::comm::parse_endpoint: expected host:port, got '" + spec + "'");
+  }
+  TcpEndpoint ep;
+  ep.host = spec.substr(0, colon);
+  if (ep.host.empty()) ep.host = "127.0.0.1";
+  const std::string port_str = spec.substr(colon + 1);
+  const unsigned long port = std::stoul(port_str);
+  if (port == 0 || port > 65535) {
+    throw std::invalid_argument("fg::comm::parse_endpoint: bad port '" +
+                                port_str + "'");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+TcpFabric::TcpFabric(int nodes, NodeId rank, std::uint16_t listen_port,
+                     TcpFabricOptions options)
+    : Fabric(nodes), rank_(rank), options_(options), mailbox_(rank) {
+  check_node(rank, "TcpFabric");
+  peers_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) peers_.push_back(std::make_unique<Peer>());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    errno = e;
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, nodes) < 0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    errno = e;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    throw_errno("getsockname");
+  }
+  listen_port_ = ntohs(bound.sin_port);
+}
+
+TcpFabric::~TcpFabric() { shutdown(); }
+
+void TcpFabric::require_local(NodeId n, const char* what) const {
+  if (n != rank_) {
+    throw std::logic_error(std::string("fg::comm::TcpFabric::") + what +
+                           ": this process hosts rank " +
+                           std::to_string(rank_) + ", not rank " +
+                           std::to_string(n));
+  }
+}
+
+void TcpFabric::require_connected(const char* what) const {
+  if (!connected_.load(std::memory_order_acquire)) {
+    throw std::logic_error(std::string("fg::comm::TcpFabric::") + what +
+                           ": connect() has not completed");
+  }
+}
+
+void TcpFabric::connect(const std::vector<TcpEndpoint>& peers) {
+  if (connected_.load(std::memory_order_acquire)) {
+    throw std::logic_error("fg::comm::TcpFabric::connect: already connected");
+  }
+  if (peers.size() != static_cast<std::size_t>(size())) {
+    throw std::invalid_argument(
+        "fg::comm::TcpFabric::connect: need one endpoint per node");
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.connect_timeout;
+  const int expected_inbound = size() - 1 - rank_;
+
+  // Higher ranks dial us; accept them on the side while we dial lower
+  // ranks, so the whole mesh comes up concurrently.
+  if (expected_inbound > 0) {
+    accept_thread_ = std::thread([this, expected_inbound, deadline] {
+      for (int accepted = 0; accepted < expected_inbound;) {
+        if (shutting_down_.load(std::memory_order_relaxed)) return;
+        if (std::chrono::steady_clock::now() >= deadline) return;
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr <= 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        // Bound the hello read so a stray connection cannot wedge us.
+        timeval tv{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        std::byte hello[kHelloBytes];
+        const bool ok = read_full(fd, hello, kHelloBytes) == 1 &&
+                        get_u32(hello) == kHelloMagic;
+        const NodeId who =
+            ok ? static_cast<NodeId>(
+                     static_cast<std::int32_t>(get_u32(hello + 4)))
+               : -1;
+        if (!ok || who <= rank_ || who >= size() ||
+            peers_[static_cast<std::size_t>(who)]->fd >= 0) {
+          ::close(fd);
+          continue;
+        }
+        timeval off{0, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &off, sizeof off);
+        set_nodelay(fd);
+        {
+          std::lock_guard<std::mutex> lock(connect_mutex_);
+          peers_[static_cast<std::size_t>(who)]->fd = fd;
+          ++connected_count_;
+        }
+        connect_cv_.notify_all();
+        ++accepted;
+      }
+    });
+  }
+
+  // Dial every lower rank, retrying while its listener comes up.
+  for (NodeId n = 0; n < rank_; ++n) {
+    const TcpEndpoint& ep = peers[static_cast<std::size_t>(n)];
+    const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), std::to_string(ep.port).c_str(), &hints,
+                      &res) != 0 ||
+        res == nullptr) {
+      shutting_down_.store(true, std::memory_order_relaxed);
+      if (accept_thread_.joinable()) accept_thread_.join();
+      throw std::runtime_error(
+          "fg::comm::TcpFabric::connect: cannot resolve " + host);
+    }
+    int fd = -1;
+    for (;;) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd >= 0 &&
+          ::connect(fd, res->ai_addr, res->ai_addrlen) == 0) {
+        break;
+      }
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(options_.retry_interval);
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+      shutting_down_.store(true, std::memory_order_relaxed);
+      if (accept_thread_.joinable()) accept_thread_.join();
+      throw std::runtime_error(
+          "fg::comm::TcpFabric::connect: rank " + std::to_string(rank_) +
+          " could not reach rank " + std::to_string(n) + " at " + host + ":" +
+          std::to_string(ep.port));
+    }
+    set_nodelay(fd);
+    std::byte hello[kHelloBytes];
+    put_u32(hello, kHelloMagic);
+    put_u32(hello + 4, static_cast<std::uint32_t>(rank_));
+    if (!write_full(fd, hello, kHelloBytes)) {
+      ::close(fd);
+      shutting_down_.store(true, std::memory_order_relaxed);
+      if (accept_thread_.joinable()) accept_thread_.join();
+      throw std::runtime_error(
+          "fg::comm::TcpFabric::connect: hello to rank " + std::to_string(n) +
+          " failed");
+    }
+    {
+      std::lock_guard<std::mutex> lock(connect_mutex_);
+      peers_[static_cast<std::size_t>(n)]->fd = fd;
+      ++connected_count_;
+    }
+    connect_cv_.notify_all();
+  }
+
+  // Wait for the inbound half of the mesh.
+  {
+    std::unique_lock<std::mutex> lock(connect_mutex_);
+    connect_cv_.wait_until(lock, deadline, [&] {
+      return connected_count_ == size() - 1;
+    });
+    if (connected_count_ != size() - 1) {
+      lock.unlock();
+      shutting_down_.store(true, std::memory_order_relaxed);
+      if (accept_thread_.joinable()) accept_thread_.join();
+      throw std::runtime_error(
+          "fg::comm::TcpFabric::connect: rank " + std::to_string(rank_) +
+          " timed out waiting for the full peer mesh");
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  connected_.store(true, std::memory_order_release);
+  for (NodeId n = 0; n < size(); ++n) {
+    if (n == rank_) continue;
+    Peer& p = *peers_[static_cast<std::size_t>(n)];
+    p.receiver = std::thread([this, n] { receiver_loop(n); });
+  }
+}
+
+void TcpFabric::write_frame(NodeId dst, std::uint8_t type, int tag,
+                            std::span<const std::byte> payload,
+                            std::uint64_t delay_ns, bool best_effort) {
+  Peer& p = *peers_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(p.send_mutex);
+  if (p.fd < 0) {
+    if (best_effort) return;
+    throw FabricAborted{};
+  }
+  std::byte hdr[kHeaderBytes];
+  put_u32(hdr, kFrameMagic);
+  hdr[4] = static_cast<std::byte>(type);
+  put_u32(hdr + 5, static_cast<std::uint32_t>(tag));
+  put_u32(hdr + 9, p.send_seq++);
+  put_u64(hdr + 13, payload.size());
+  put_u64(hdr + 21, delay_ns);
+  if (!write_full(p.fd, hdr, kHeaderBytes) ||
+      !write_full(p.fd, payload.data(), payload.size())) {
+    if (best_effort) return;
+    // The peer's socket is gone mid-run: treat it as a cluster failure so
+    // everyone (including this process) unwinds.
+    abort();
+    throw FabricAborted{};
+  }
+}
+
+void TcpFabric::receiver_loop(NodeId peer) {
+  Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  std::uint32_t expect_seq = 0;
+  bool bye = false;
+  for (;;) {
+    std::byte hdr[kHeaderBytes];
+    const int hr = read_full(p.fd, hdr, kHeaderBytes);
+    if (hr <= 0) {
+      // EOF after BYE (or during our own teardown/abort) is an orderly
+      // close; anything else means the peer process died mid-run.
+      if (hr == 0 && (bye || shutting_down_.load(std::memory_order_relaxed) ||
+                      aborted())) {
+        return;
+      }
+      if (shutting_down_.load(std::memory_order_relaxed) || aborted()) return;
+      abort_from_peer();
+      return;
+    }
+    if (get_u32(hdr) != kFrameMagic) {
+      abort();  // stream corrupt: no way to resynchronize
+      return;
+    }
+    const auto type = std::to_integer<std::uint8_t>(hdr[4]);
+    const int tag = static_cast<std::int32_t>(get_u32(hdr + 5));
+    const std::uint32_t seq = get_u32(hdr + 9);
+    const std::uint64_t len = get_u64(hdr + 13);
+    const std::uint64_t delay_ns = get_u64(hdr + 21);
+    std::vector<std::byte> payload(len);
+    if (len > 0 && read_full(p.fd, payload.data(), len) != 1) {
+      if (!shutting_down_.load(std::memory_order_relaxed)) abort_from_peer();
+      return;
+    }
+    switch (type) {
+      case kFrameData: {
+        if (seq != expect_seq++) {
+          abort();  // frames lost or reordered: stream no longer trusted
+          return;
+        }
+        const util::TimePoint deliver_at =
+            util::Clock::now() +
+            std::chrono::duration_cast<util::Duration>(
+                std::chrono::nanoseconds(delay_ns));
+        mailbox_.deposit(peer, tag, std::move(payload), deliver_at);
+        break;
+      }
+      case kFrameAbort:
+        abort_from_peer();
+        break;  // keep draining until the peer closes
+      case kFrameBye:
+        bye = true;
+        break;
+      default:
+        abort();
+        return;
+    }
+  }
+}
+
+void TcpFabric::abort_from_peer() {
+  // The peer that originated the abort already told everyone else (or, if
+  // it died, everyone sees the EOF themselves) — no re-broadcast.
+  mark_aborted();
+  mailbox_.abort();
+}
+
+void TcpFabric::abort() {
+  const bool first = !abort_broadcast_.exchange(true);
+  mark_aborted();
+  mailbox_.abort();
+  if (first && connected_.load(std::memory_order_acquire)) {
+    for (NodeId n = 0; n < size(); ++n) {
+      if (n == rank_) continue;
+      write_frame(n, kFrameAbort, 0, {}, 0, /*best_effort=*/true);
+    }
+  }
+}
+
+void TcpFabric::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(connect_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  shutting_down_.store(true, std::memory_order_relaxed);
+  if (connected_.load(std::memory_order_acquire)) {
+    for (NodeId n = 0; n < size(); ++n) {
+      if (n == rank_) continue;
+      write_frame(n, kFrameBye, 0, {}, 0, /*best_effort=*/true);
+    }
+  }
+  // SHUT_RDWR unblocks our receiver threads (read returns 0) while the
+  // BYE above lets the peer tell teardown apart from a crash.
+  for (auto& p : peers_) {
+    if (p->fd >= 0) ::shutdown(p->fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& p : peers_) {
+    if (p->receiver.joinable()) p->receiver.join();
+    if (p->fd >= 0) {
+      ::close(p->fd);
+      p->fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpFabric::send_message(NodeId src, NodeId dst, int tag,
+                             std::span<const std::byte> data,
+                             util::Duration extra_delay) {
+  require_local(src, "send");
+  require_connected("send");
+  const auto delay_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(extra_delay)
+          .count());
+  if (dst == rank_) {
+    mailbox_.deposit(src, tag,
+                     std::vector<std::byte>(data.begin(), data.end()),
+                     util::Clock::now() + extra_delay);
+    return;
+  }
+  write_frame(dst, kFrameData, tag, data, delay_ns, /*best_effort=*/false);
+}
+
+RecvResult TcpFabric::recv_message(NodeId me, NodeId src, int tag,
+                                   std::span<std::byte> out) {
+  require_local(me, "recv");
+  require_connected("recv");
+  return mailbox_.take(src, tag, out, recv_deadline());
+}
+
+bool TcpFabric::probe_message(NodeId me, NodeId src, int tag) const {
+  require_local(me, "probe");
+  return mailbox_.probe(src, tag);
+}
+
+}  // namespace fg::comm

@@ -54,6 +54,10 @@ struct QueueStats {
   std::uint64_t pushes{0};      ///< tokens accepted (post-abort pushes excluded)
   std::uint64_t pops{0};        ///< tokens delivered
   std::size_t peak{0};          ///< high-water occupancy
+  /// Tokens parked via force_push during teardown.  Kept out of `pushes`
+  /// so the pushes/pops reconciliation stays meaningful: residents ==
+  /// pushes + forced - pops.
+  std::uint64_t forced{0};
 };
 
 /// MPMC blocking token queue.  capacity == 0 means unbounded (the default:
@@ -126,11 +130,13 @@ class BufferQueue {
   /// Unconditionally enqueue `t`, ignoring capacity and abort state.
   /// Never blocks.  The runtime uses this during teardown to park
   /// buffers somewhere accountable after a regular push was refused.
+  /// Counted in QueueStats::forced, not QueueStats::pushes, which by
+  /// contract excludes post-abort pushes.
   void force_push(Token t) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       q_.push_back(t);
-      ++pushes_;
+      ++forced_;
       if (q_.size() > peak_) peak_ = q_.size();
     }
     not_empty_.notify_one();
@@ -175,7 +181,7 @@ class BufferQueue {
   /// Snapshot of this queue's counters.
   QueueStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return QueueStats{capacity_, pushes_, pops_, peak_};
+    return QueueStats{capacity_, pushes_, pops_, peak_, forced_};
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
@@ -189,6 +195,7 @@ class BufferQueue {
   std::size_t peak_{0};
   std::uint64_t pushes_{0};
   std::uint64_t pops_{0};
+  std::uint64_t forced_{0};
   bool aborted_{false};
 };
 

@@ -364,6 +364,7 @@ void RunStats::write_json(util::JsonWriter& w) const {
     w.kv("pushes", q.pushes);
     w.kv("pops", q.pops);
     w.kv("peak", q.peak);
+    w.kv("forced", q.forced);
     w.end_object();
   }
   w.end_array();

@@ -30,6 +30,13 @@ class FreeIoScope {
 }  // namespace
 
 void generate_input(pdm::Workspace& ws, const SortConfig& cfg) {
+  for (int node = 0; node < cfg.nodes; ++node) {
+    generate_node_input(ws, cfg, node);
+  }
+}
+
+void generate_node_input(pdm::Workspace& ws, const SortConfig& cfg,
+                         int node) {
   FreeIoScope free_io(ws);
   const pdm::StripeLayout layout = layout_of(cfg);
   const std::uint64_t rec = cfg.record_bytes;
@@ -37,25 +44,23 @@ void generate_input(pdm::Workspace& ws, const SortConfig& cfg) {
   // One block-sized staging buffer, reused.
   std::vector<std::byte> block(layout.block_bytes());
 
-  for (int node = 0; node < cfg.nodes; ++node) {
-    pdm::Disk& disk = ws.disk(node);
-    pdm::File f = disk.create(cfg.input_name);
-    std::uint64_t local_offset = 0;
-    // Walk this node's blocks: global blocks node, node+P, node+2P, ...
-    const std::uint64_t total_blocks =
-        (cfg.records + cfg.block_records - 1) / cfg.block_records;
-    for (std::uint64_t b = static_cast<std::uint64_t>(node); b < total_blocks;
-         b += static_cast<std::uint64_t>(cfg.nodes)) {
-      const std::uint64_t g0 = b * cfg.block_records;
-      const std::uint64_t n =
-          std::min<std::uint64_t>(cfg.block_records, cfg.records - g0);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        make_record(cfg.dist, cfg.seed, g0 + i, cfg.records,
-                    {block.data() + i * rec, rec}, node);
-      }
-      disk.write(f, local_offset, {block.data(), n * rec});
-      local_offset += n * rec;
+  pdm::Disk& disk = ws.disk(node);
+  pdm::File f = disk.create(cfg.input_name);
+  std::uint64_t local_offset = 0;
+  // Walk this node's blocks: global blocks node, node+P, node+2P, ...
+  const std::uint64_t total_blocks =
+      (cfg.records + cfg.block_records - 1) / cfg.block_records;
+  for (std::uint64_t b = static_cast<std::uint64_t>(node); b < total_blocks;
+       b += static_cast<std::uint64_t>(cfg.nodes)) {
+    const std::uint64_t g0 = b * cfg.block_records;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(cfg.block_records, cfg.records - g0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      make_record(cfg.dist, cfg.seed, g0 + i, cfg.records,
+                  {block.data() + i * rec, rec}, node);
     }
+    disk.write(f, local_offset, {block.data(), n * rec});
+    local_offset += n * rec;
   }
 }
 

@@ -30,6 +30,12 @@ inline pdm::StripeLayout layout_of(const SortConfig& cfg) {
 /// of any measured phase.
 void generate_input(pdm::Workspace& ws, const SortConfig& cfg);
 
+/// Write just `node`'s stripe of the input.  Generation is deterministic
+/// in (seed, distribution, global index), so in multi-process (TCP
+/// fabric) runs each rank produces its own stripe independently and the
+/// union is byte-identical to a single-process generate_input().
+void generate_node_input(pdm::Workspace& ws, const SortConfig& cfg, int node);
+
 /// Expected order-independent fingerprint sum of the whole dataset.
 std::uint64_t expected_fingerprint(const SortConfig& cfg);
 

@@ -8,7 +8,7 @@ namespace fg::sort {
 ProgramOutcome run_program(bool use_dsort, const SortConfig& cfg,
                            const LatencyProfile& lat) {
   pdm::Workspace ws(cfg.nodes, lat.disk);
-  comm::Cluster cluster(cfg.nodes, lat.net);
+  comm::SimCluster cluster(cfg.nodes, lat.net);
   generate_input(ws, cfg);
   SortConfig run_cfg = cfg;
   run_cfg.compute_model = lat.compute;

@@ -155,6 +155,30 @@ TEST(BufferQueue, AbortWakesBlockedPushers) {
   producer.join();  // must return
 }
 
+// Regression: force_push is the teardown path and by the QueueStats
+// contract its tokens are *excluded* from `pushes` (post-abort pushes
+// don't count); they land in the separate `forced` counter so the
+// reconciliation "residents == pushes + forced - pops" still balances.
+// Before the fix, force_push incremented pushes_ and an aborted run's
+// stats claimed more accepted tokens than were ever delivered or
+// resident.
+TEST(BufferQueue, ForcePushCountsAsForcedNotPushed) {
+  BufferQueue q;
+  Buffer a(16, 0, false);
+  q.push(Token::of_buffer(&a));  // one regular push
+  q.pop();                       // ...and its pop
+  q.abort();
+  q.force_push(Token::of_buffer(&a));  // teardown parks two buffers
+  q.force_push(Token::of_buffer(&a));
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushes, 1u);
+  EXPECT_EQ(s.forced, 2u);
+  EXPECT_EQ(s.pops, 1u);
+  // Reconciliation: what's resident is exactly what came in minus what
+  // was delivered.
+  EXPECT_EQ(q.size(), s.pushes + s.forced - s.pops);
+}
+
 TEST(BufferQueue, PeakTracksHighWaterMark) {
   BufferQueue q;
   Buffer a(16, 0, false);

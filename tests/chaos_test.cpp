@@ -69,7 +69,7 @@ void arm_transient(fault::Injector& inj) {
 TEST(ChaosDsort, TransientFaultsAbsorbed) {
   sort::SortConfig cfg = small_sort_config();
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
 
   fault::Injector inj(cfg.seed);
@@ -98,7 +98,7 @@ TEST(ChaosCsort, TransientFaultsAbsorbed) {
   cfg.records = sort::csort_compatible_records(cfg.records, cfg.nodes,
                                                cfg.block_records);
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
 
   fault::Injector inj(cfg.seed);
@@ -123,7 +123,7 @@ TEST(ChaosCsort, TransientFaultsAbsorbed) {
 TEST(ChaosDsort, PermanentFaultAbortsRun) {
   sort::SortConfig cfg = small_sort_config();
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
 
   fault::Injector inj(cfg.seed);
@@ -262,7 +262,7 @@ TEST(Chaos, WatchdogStaysQuietOnHealthyRuns) {
 
 TEST(ChaosCluster, NodeCrashUnwindsSurvivors) {
   const int p = 4;
-  comm::Cluster cluster(p);
+  comm::SimCluster cluster(p);
   fault::Injector inj(chaos_seed());
   inj.arm(fault::kFabricCrash, fault::Rule::one_shot(1).on_node(2));
   cluster.fabric().set_fault_injector(&inj);

@@ -12,7 +12,7 @@ namespace fg::comm {
 namespace {
 
 TEST(Cluster, RunsEveryRankExactlyOnce) {
-  Cluster c(6);
+  SimCluster c(6);
   std::mutex m;
   std::set<NodeId> ranks;
   c.run([&](NodeId me) {
@@ -23,7 +23,7 @@ TEST(Cluster, RunsEveryRankExactlyOnce) {
 }
 
 TEST(Cluster, NodeProgramsCanCommunicate) {
-  Cluster c(3);
+  SimCluster c(3);
   std::atomic<std::uint64_t> sum{0};
   c.run([&](NodeId me) {
     const auto all = c.fabric().allgather_u64(me, static_cast<std::uint64_t>(me + 1));
@@ -35,7 +35,7 @@ TEST(Cluster, NodeProgramsCanCommunicate) {
 }
 
 TEST(Cluster, ReusableAcrossPhases) {
-  Cluster c(4);
+  SimCluster c(4);
   std::atomic<int> phase_one{0}, phase_two{0};
   c.run([&](NodeId) { ++phase_one; });
   c.run([&](NodeId me) {
@@ -47,7 +47,7 @@ TEST(Cluster, ReusableAcrossPhases) {
 }
 
 TEST(Cluster, ErrorOnOneNodeUnblocksOthers) {
-  Cluster c(3);
+  SimCluster c(3);
   EXPECT_THROW(
       c.run([&](NodeId me) {
         if (me == 1) throw std::runtime_error("node 1 died");
@@ -61,14 +61,14 @@ TEST(Cluster, ErrorOnOneNodeUnblocksOthers) {
 }
 
 TEST(Cluster, RunAfterAbortRejected) {
-  Cluster c(2);
+  SimCluster c(2);
   EXPECT_THROW(c.run([&](NodeId) { throw std::runtime_error("boom"); }),
                std::runtime_error);
   EXPECT_THROW(c.run([](NodeId) {}), std::logic_error);
 }
 
 TEST(Cluster, FirstErrorWins) {
-  Cluster c(2);
+  SimCluster c(2);
   try {
     c.run([&](NodeId me) {
       if (me == 0) throw std::runtime_error("primary");

@@ -28,7 +28,7 @@ SortConfig config_for(int nodes, std::uint64_t target, std::uint32_t rec,
 
 VerifyResult sort_and_verify(const SortConfig& cfg) {
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   generate_input(ws, cfg);
   const SortResult r = run_csort(cluster, ws, cfg);
   EXPECT_EQ(r.records, cfg.records);
@@ -114,7 +114,7 @@ TEST(Csort, GeometryMismatchRejected) {
   cfg.csort_r = 64;
   cfg.csort_s = 4;  // 256 != cfg.records
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   EXPECT_THROW(run_csort(cluster, ws, cfg), std::invalid_argument);
 }
 
@@ -124,7 +124,7 @@ TEST(Csort, BlockMustDivideRows) {
   cfg.csort_s = 4;
   cfg.records = 264;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   EXPECT_THROW(run_csort(cluster, ws, cfg), std::invalid_argument);
 }
 
@@ -152,7 +152,7 @@ TEST(Csort, AgreesWithDsort) {
   // identically because records with equal keys are still distinct).
   SortConfig cfg = config_for(4, 15000, 16, 8, Distribution::kPoisson);
   pdm::Workspace ws_a(cfg.nodes), ws_b(cfg.nodes);
-  comm::Cluster ca(cfg.nodes), cb(cfg.nodes);
+  comm::SimCluster ca(cfg.nodes), cb(cfg.nodes);
   generate_input(ws_a, cfg);
   generate_input(ws_b, cfg);
   run_dsort(ca, ws_a, cfg);

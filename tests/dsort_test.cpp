@@ -29,7 +29,7 @@ SortConfig small_config() {
 
 VerifyResult sort_and_verify(const SortConfig& cfg) {
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   generate_input(ws, cfg);
   const SortResult r = run_dsort(cluster, ws, cfg);
   EXPECT_EQ(r.records, cfg.records);
@@ -129,7 +129,7 @@ TEST(Dsort, LargeBlocksRelativeToBuffers) {
 TEST(Dsort, MismatchedNodeCountsRejected) {
   SortConfig cfg = small_config();
   pdm::Workspace ws(2);
-  comm::Cluster cluster(4);
+  comm::SimCluster cluster(4);
   EXPECT_THROW(run_dsort(cluster, ws, cfg), std::invalid_argument);
 }
 
@@ -137,7 +137,7 @@ TEST(Dsort, BadRecordSizeRejected) {
   SortConfig cfg = small_config();
   cfg.record_bytes = 8;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   EXPECT_THROW(run_dsort(cluster, ws, cfg), std::invalid_argument);
 }
 
@@ -145,7 +145,7 @@ TEST(Dsort, SamplingPhaseIsCheap) {
   SortConfig cfg = small_config();
   cfg.records = 20000;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   generate_input(ws, cfg);
   const SortResult r = run_dsort(cluster, ws, cfg);
   // The paper reports sampling as negligible; without injected latency it
@@ -159,7 +159,7 @@ TEST(Dsort, OutputFilesAreStripedShares) {
   SortConfig cfg = small_config();
   cfg.records = 10000;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   generate_input(ws, cfg);
   run_dsort(cluster, ws, cfg);
   const auto layout = layout_of(cfg);

@@ -108,7 +108,7 @@ TEST(QueueEdge, PeakReflectsBackpressure) {
 }
 
 TEST(FabricEdge, ProbeRespectsTagAndSource) {
-  comm::Fabric f(3);
+  comm::SimFabric f(3);
   std::byte x{1};
   f.send(1, 0, 7, {&x, 1});
   EXPECT_TRUE(f.probe(0, 1, 7));
@@ -118,13 +118,13 @@ TEST(FabricEdge, ProbeRespectsTagAndSource) {
 }
 
 TEST(FabricEdge, AllreduceEmptyVector) {
-  comm::Fabric f(1);
+  comm::SimFabric f(1);
   const auto out = f.allreduce_sum_u64(0, {});
   EXPECT_TRUE(out.empty());
 }
 
 TEST(FabricEdge, ZeroByteMessages) {
-  comm::Fabric f(2);
+  comm::SimFabric f(2);
   f.send(0, 1, 3, {});
   std::vector<std::byte> buf(1);
   const auto r = f.recv(1, 0, 3, buf);
@@ -132,7 +132,7 @@ TEST(FabricEdge, ZeroByteMessages) {
 }
 
 TEST(FabricEdge, StatsAccumulateAcrossCollectives) {
-  comm::Cluster c(3);
+  comm::SimCluster c(3);
   c.run([&](comm::NodeId me) {
     c.fabric().barrier(me);
     (void)c.fabric().allgather_u64(me, 1);
@@ -202,7 +202,7 @@ TEST(SortEdge, SixteenNodesQuick) {
   cfg.out_buffer_records = 125;
   cfg.oversample = 16;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
   sort::run_dsort(cluster, ws, cfg);
   EXPECT_TRUE(sort::verify_output(ws, cfg).ok());
@@ -218,7 +218,7 @@ TEST(SortEdge, SingleRecord) {
   cfg.out_buffer_records = 8;
   cfg.oversample = 4;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
   sort::run_dsort(cluster, ws, cfg);
   const auto v = sort::verify_output(ws, cfg);
@@ -236,7 +236,7 @@ TEST(SortEdge, CsortWithLargeRecordsTinyMatrix) {
   cfg.block_records = 3;
   cfg.oversample = 4;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
   sort::run_csort(cluster, ws, cfg);
   EXPECT_TRUE(sort::verify_output(ws, cfg).ok());

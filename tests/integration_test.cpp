@@ -156,7 +156,7 @@ TEST(Integration, StageStatsShowBlockingOnSlowStage) {
 TEST(Integration, DiskBusyAndTrafficAccountedDuringSort) {
   SortConfig cfg = latency_config();
   pdm::Workspace ws(cfg.nodes, util::LatencyModel::of(50, 500));
-  comm::Cluster cluster(cfg.nodes, util::LatencyModel::of(10, 2000));
+  comm::SimCluster cluster(cfg.nodes, util::LatencyModel::of(10, 2000));
   generate_input(ws, cfg);
   run_dsort(cluster, ws, cfg);
   // Every node must have moved bytes over the fabric and busied its disk.
@@ -177,7 +177,7 @@ TEST(Integration, SortsCorrectUnderSeekAwareDisks) {
   for (const bool use_dsort : {true, false}) {
     pdm::Workspace ws(cfg.nodes, mild_latency().disk);
     ws.set_seek_aware(true);
-    comm::Cluster cluster(cfg.nodes, mild_latency().net);
+    comm::SimCluster cluster(cfg.nodes, mild_latency().net);
     generate_input(ws, cfg);
     if (use_dsort) {
       run_dsort(cluster, ws, cfg);

@@ -25,7 +25,7 @@ sort::SortConfig gen_config(const PermuteConfig& cfg) {
 std::uint64_t permute_and_verify(const PermuteConfig& cfg,
                                  const IndexMap& map) {
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, gen_config(cfg));
   const PermuteResult r = run_permute(cluster, ws, cfg, map);
   EXPECT_EQ(r.records, cfg.records);
@@ -142,7 +142,7 @@ TEST_P(PermuteSweep, ShiftAcrossShapes) {
 TEST(Permute, MismatchedNodesRejected) {
   auto cfg = small_config();
   pdm::Workspace ws(2);
-  comm::Cluster cluster(4);
+  comm::SimCluster cluster(4);
   EXPECT_THROW(run_permute(cluster, ws, cfg, reversal_map(cfg.records)),
                std::invalid_argument);
 }

@@ -147,7 +147,7 @@ TEST_P(SeedParam, DsortVerifiesForEverySeed) {
   cfg.seed = GetParam();
   cfg.dist = sort::Distribution::kNormal;
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
   sort::run_dsort(cluster, ws, cfg);
   EXPECT_TRUE(sort::verify_output(ws, cfg).ok());

@@ -21,7 +21,7 @@ struct SplitterSetup {
 
   explicit SplitterSetup(const SortConfig& cfg) {
     pdm::Workspace ws(cfg.nodes);
-    comm::Cluster cluster(cfg.nodes);
+    comm::SimCluster cluster(cfg.nodes);
     generate_input(ws, cfg);
     per_node.resize(static_cast<std::size_t>(cfg.nodes));
     cluster.run([&](comm::NodeId me) {

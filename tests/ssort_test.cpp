@@ -28,7 +28,7 @@ SortConfig small_config() {
 
 VerifyResult sort_and_verify(const SortConfig& cfg) {
   pdm::Workspace ws(cfg.nodes);
-  comm::Cluster cluster(cfg.nodes);
+  comm::SimCluster cluster(cfg.nodes);
   generate_input(ws, cfg);
   const SortResult r = run_ssort(cluster, ws, cfg);
   EXPECT_EQ(r.records, cfg.records);
@@ -74,7 +74,7 @@ TEST(Ssort, MatchesDsortOutput) {
   SortConfig cfg = small_config();
   cfg.dist = Distribution::kPoisson;
   pdm::Workspace ws_a(cfg.nodes), ws_b(cfg.nodes);
-  comm::Cluster ca(cfg.nodes), cb(cfg.nodes);
+  comm::SimCluster ca(cfg.nodes), cb(cfg.nodes);
   generate_input(ws_a, cfg);
   generate_input(ws_b, cfg);
   run_dsort(ca, ws_a, cfg);

@@ -41,6 +41,37 @@ mkdir -p "$obs_dir"
   "$obs_dir/trace.json" > "$root/BENCH_sort.json"
 echo "==> wrote BENCH_sort.json (wall time + per-stage occupancy)"
 
+# Multi-process gate: the same dsort, but with every cluster node as its
+# own OS process talking over loopback TCP (fgnode forks one fgsort per
+# rank and supervises the set).  A sim run on the identical seeded
+# dataset is the reference: the TCP output stripes must match it byte
+# for byte, each rank must emit a stats blob, and rank 0's trace must
+# pass the same structural fgtrace check as the in-process run.
+echo "==> multi-process TCP dsort (4 ranks over loopback)"
+tcp_dir="$root/build-ci-release/tcp-check"
+rm -rf "$tcp_dir"
+mkdir -p "$tcp_dir"
+"$root/build-ci-release/tools/fgsort" --program dsort --nodes 4 \
+  --records 65536 --latency none --seed 11 \
+  --keep "$tcp_dir/sim" > /dev/null
+"$root/build-ci-release/tools/fgnode" --nodes 4 --base-port 38411 \
+  --timeout-secs 300 -- \
+  "$root/build-ci-release/tools/fgsort" --program dsort \
+  --records 65536 --latency none --seed 11 \
+  --keep "$tcp_dir/tcp" \
+  --trace-out "$tcp_dir/trace.{rank}.json" \
+  --stats-json "$tcp_dir/stats.{rank}.json" > /dev/null
+for n in 0 1 2 3; do
+  cmp "$tcp_dir/sim/dsort/node$n/output" "$tcp_dir/tcp/dsort/node$n/output"
+  test -s "$tcp_dir/stats.$n.json"
+  grep -q '"fabric":"tcp"' "$tcp_dir/stats.$n.json"
+done
+grep -q '"verified":true' "$tcp_dir/stats.0.json"
+"$root/build-ci-release/tools/fgtrace" --check \
+  "$tcp_dir/trace.0.json" "$tcp_dir/stats.0.json"
+rm -rf "$tcp_dir"
+echo "==> multi-process TCP dsort ok"
+
 # Chaos soak: replay the fault-injection suite under TSan with ten
 # distinct seeds.  Injection schedules are a pure function of the seed,
 # so each iteration exercises a different (but reproducible) failure

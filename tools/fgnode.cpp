@@ -1,0 +1,188 @@
+// fgnode — process launcher for multi-process (TCP fabric) cluster runs.
+//
+// Forks one child per rank, each running the given command with `{rank}`
+// tokens substituted and the fabric wiring appended:
+//
+//   fgnode --nodes 4 [--base-port P] [--host H] [--timeout-secs N] --
+//       build/tools/fgsort --program dsort --keep /tmp/ws
+//       --stats-json stats.{rank}.json
+//
+// becomes, for rank r of 4:
+//
+//   build/tools/fgsort --program dsort --keep /tmp/ws
+//       --stats-json stats.r.json
+//       --fabric tcp --rank r --peers H:P,H:P+1,H:P+2,H:P+3
+//
+// All children share one loopback (or given-host) port block.  fgnode
+// waits for every child; if any exits nonzero, or the --timeout-secs
+// budget expires, the rest are killed and fgnode exits nonzero.  This is
+// the driver both the CI gate and the multi-process tests go through —
+// it is deliberately dumb: no restart, no rank placement, just fork,
+// watch, reap.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: fgnode --nodes N [--base-port P] [--host H]\n"
+               "              [--timeout-secs N] -- command [args...]\n"
+               "  '{rank}' in command args is replaced by the child's "
+               "rank;\n"
+               "  '--fabric tcp --rank R --peers ...' is appended "
+               "automatically.\n");
+  std::exit(2);
+}
+
+std::string substitute_rank(const std::string& s, int rank) {
+  std::string out = s;
+  const std::string token = "{rank}";
+  std::size_t pos = 0;
+  while ((pos = out.find(token, pos)) != std::string::npos) {
+    const std::string r = std::to_string(rank);
+    out.replace(pos, token.size(), r);
+    pos += r.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nodes = 0;
+  int base_port = 37600;
+  int timeout_secs = 600;
+  std::string host = "127.0.0.1";
+  int cmd_start = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](int& j) -> std::string {
+      if (j + 1 >= argc) usage();
+      return argv[++j];
+    };
+    if (a == "--nodes") nodes = std::atoi(need(i).c_str());
+    else if (a == "--base-port") base_port = std::atoi(need(i).c_str());
+    else if (a == "--host") host = need(i);
+    else if (a == "--timeout-secs") timeout_secs = std::atoi(need(i).c_str());
+    else if (a == "--") { cmd_start = i + 1; break; }
+    else usage();
+  }
+  if (nodes < 1 || nodes > 512 || cmd_start < 0 || cmd_start >= argc) usage();
+  if (base_port < 1 || base_port + nodes - 1 > 65535) {
+    std::fprintf(stderr, "fgnode: port block %d..%d out of range\n",
+                 base_port, base_port + nodes - 1);
+    return 2;
+  }
+
+  std::string peers;
+  for (int r = 0; r < nodes; ++r) {
+    if (r > 0) peers += ',';
+    peers += host + ":" + std::to_string(base_port + r);
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(nodes), -1);
+  for (int r = 0; r < nodes; ++r) {
+    // Build this rank's argv before forking: no allocation between fork
+    // and exec.
+    std::vector<std::string> args;
+    for (int i = cmd_start; i < argc; ++i) {
+      args.push_back(substitute_rank(argv[i], r));
+    }
+    args.push_back("--fabric");
+    args.push_back("tcp");
+    args.push_back("--rank");
+    args.push_back(std::to_string(r));
+    args.push_back("--peers");
+    args.push_back(peers);
+    std::vector<char*> cargs;
+    cargs.reserve(args.size() + 1);
+    for (auto& s : args) cargs.push_back(s.data());
+    cargs.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fgnode: fork");
+      for (int k = 0; k < r; ++k) ::kill(pids[static_cast<std::size_t>(k)], SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      ::execvp(cargs[0], cargs.data());
+      std::perror("fgnode: execvp");
+      _exit(127);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  // Reap children, polling so the timeout can fire.  First failure (or
+  // the deadline) kills the remainder: a dead rank means the run cannot
+  // complete, and the survivors' recv deadlines may be generous.
+  int remaining = nodes;
+  int exit_code = 0;
+  int waited_ms = 0;
+  const int budget_ms = timeout_secs * 1000;
+  bool killed = false;
+  while (remaining > 0) {
+    int status = 0;
+    const pid_t done = ::waitpid(-1, &status, WNOHANG);
+    if (done == 0) {
+      if (waited_ms >= budget_ms && !killed) {
+        std::fprintf(stderr, "fgnode: timeout after %d s, killing %d "
+                     "remaining rank(s)\n", timeout_secs, remaining);
+        for (pid_t p : pids) {
+          if (p > 0) ::kill(p, SIGKILL);
+        }
+        killed = true;
+        exit_code = 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      waited_ms += 50;
+      continue;
+    }
+    if (done < 0) {
+      if (errno == EINTR) continue;
+      std::perror("fgnode: waitpid");
+      return 1;
+    }
+    --remaining;
+    int rank = -1;
+    for (int r = 0; r < nodes; ++r) {
+      if (pids[static_cast<std::size_t>(r)] == done) rank = r;
+    }
+    const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!ok) {
+      if (WIFSIGNALED(status)) {
+        std::fprintf(stderr, "fgnode: rank %d (pid %d) killed by signal %d\n",
+                     rank, static_cast<int>(done), WTERMSIG(status));
+      } else {
+        std::fprintf(stderr, "fgnode: rank %d (pid %d) exited %d\n", rank,
+                     static_cast<int>(done), WEXITSTATUS(status));
+      }
+      exit_code = 1;
+      if (!killed) {
+        // Take the rest down rather than waiting out their deadlines.
+        for (int r = 0; r < nodes; ++r) {
+          if (pids[static_cast<std::size_t>(r)] != done &&
+              pids[static_cast<std::size_t>(r)] > 0) {
+            ::kill(pids[static_cast<std::size_t>(r)], SIGTERM);
+          }
+        }
+        killed = true;
+      }
+    }
+    if (rank >= 0) pids[static_cast<std::size_t>(rank)] = -1;
+  }
+  return exit_code;
+}
