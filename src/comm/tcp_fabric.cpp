@@ -1,5 +1,7 @@
 #include "comm/tcp_fabric.hpp"
 
+#include "util/parse.hpp"
+
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -106,13 +108,16 @@ TcpEndpoint parse_endpoint(const std::string& spec) {
   TcpEndpoint ep;
   ep.host = spec.substr(0, colon);
   if (ep.host.empty()) ep.host = "127.0.0.1";
+  // Full-string parse: "80x" must not pass as port 80, and an
+  // unparseable port must name the offending spec, not throw a bare
+  // "stoul" from deep inside the library.
   const std::string port_str = spec.substr(colon + 1);
-  const unsigned long port = std::stoul(port_str);
-  if (port == 0 || port > 65535) {
+  const auto port = util::parse_number<std::uint32_t>(port_str);
+  if (!port || *port == 0 || *port > 65535) {
     throw std::invalid_argument("fg::comm::parse_endpoint: bad port '" +
-                                port_str + "'");
+                                port_str + "' in endpoint '" + spec + "'");
   }
-  ep.port = static_cast<std::uint16_t>(port);
+  ep.port = static_cast<std::uint16_t>(*port);
   return ep;
 }
 

@@ -1,0 +1,152 @@
+#include "pdm/aio.hpp"
+
+#include "util/log.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fg::pdm {
+
+// -- ReadAhead --------------------------------------------------------------
+
+ReadAhead::ReadAhead(Disk& disk, const File& f, std::size_t slot_bytes,
+                     Plan plan, int depth)
+    : disk_(disk), file_(f), slot_bytes_(slot_bytes), plan_(std::move(plan)) {
+  if (depth < 1) {
+    throw std::invalid_argument("fg::pdm::ReadAhead: depth must be >= 1");
+  }
+  slots_.resize(static_cast<std::size_t>(depth));
+  for (auto& s : slots_) {
+    s.buf = std::make_unique<std::byte[]>(slot_bytes_);
+  }
+  for (int i = 0; i < depth; ++i) prime_one();
+}
+
+ReadAhead::~ReadAhead() {
+  // The slots' memory is the read targets; wait out anything in flight
+  // before freeing it.  Errors were either already delivered via next()
+  // or belong to rounds nobody will consume — log, don't throw.
+  for (auto& s : slots_) {
+    if (!s.in_flight) continue;
+    try {
+      s.handle.wait();
+    } catch (const std::exception& e) {
+      FG_LOG(kWarn) << "fg::pdm::ReadAhead: abandoned prefetch on "
+                    << file_.name() << " failed: " << e.what();
+    }
+  }
+}
+
+void ReadAhead::prime_one() {
+  if (exhausted_) return;
+  Slot& s = slots_[static_cast<std::size_t>(next_plan_ % slots_.size())];
+  if (s.in_flight) return;  // window already full
+  std::uint64_t offset = 0;
+  std::size_t bytes = 0;
+  if (!plan_(next_plan_, &offset, &bytes) || bytes == 0) {
+    exhausted_ = true;
+    return;
+  }
+  if (bytes > slot_bytes_) {
+    throw std::logic_error("fg::pdm::ReadAhead: plan exceeds slot capacity");
+  }
+  s.planned = bytes;
+  s.handle = disk_.read_async(file_, offset, {s.buf.get(), bytes});
+  s.in_flight = true;
+  ++next_plan_;
+}
+
+std::size_t ReadAhead::next(std::span<std::byte> dest) {
+  Slot& s = slots_[static_cast<std::size_t>(next_take_ % slots_.size())];
+  if (!s.in_flight) return 0;  // plan exhausted before this round
+  std::size_t n;
+  try {
+    n = s.handle.wait();
+  } catch (...) {
+    s.in_flight = false;
+    throw;
+  }
+  s.in_flight = false;
+  if (n > dest.size()) {
+    throw std::logic_error(
+        "fg::pdm::ReadAhead: destination smaller than the planned read");
+  }
+  std::memcpy(dest.data(), s.buf.get(), n);
+  ++next_take_;
+  prime_one();  // reuse the slot we just emptied
+  return n;
+}
+
+// -- WriteBehind ------------------------------------------------------------
+
+WriteBehind::WriteBehind(Disk& disk, const File& f, std::size_t slot_bytes,
+                         int depth)
+    : disk_(disk), file_(f), slot_bytes_(slot_bytes) {
+  if (depth < 2) {
+    throw std::invalid_argument("fg::pdm::WriteBehind: depth must be >= 2");
+  }
+  slots_.resize(static_cast<std::size_t>(depth));
+  for (auto& s : slots_) {
+    s.buf = std::make_unique<std::byte[]>(slot_bytes_);
+  }
+}
+
+WriteBehind::~WriteBehind() {
+  // Slots back in-flight writes; wait them out before freeing.  drain()
+  // is the checked path — a failure surfacing only here means the run
+  // already unwound for another reason.
+  for (auto& s : slots_) {
+    for (auto& h : s.handles) {
+      try {
+        h.wait();
+      } catch (const std::exception& e) {
+        FG_LOG(kWarn) << "fg::pdm::WriteBehind: write-behind on "
+                      << file_.name() << " failed during unwind: " << e.what();
+      }
+    }
+    s.handles.clear();
+  }
+}
+
+void WriteBehind::reap(Slot& s) {
+  // Wait everything before rethrowing so the slot is quiescent (and
+  // reusable) even on the failure path.
+  std::exception_ptr first;
+  for (auto& h : s.handles) {
+    try {
+      h.wait();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  s.handles.clear();
+  if (first) std::rethrow_exception(first);
+}
+
+std::span<std::byte> WriteBehind::stage() {
+  Slot& s = slots_[cur_];
+  reap(s);
+  return {s.buf.get(), slot_bytes_};
+}
+
+void WriteBehind::submit(const Piece* pieces, std::size_t n) {
+  Slot& s = slots_[cur_];
+  s.handles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Piece& p = pieces[i];
+    if (p.start + p.bytes > slot_bytes_) {
+      throw std::logic_error(
+          "fg::pdm::WriteBehind: piece exceeds slot capacity");
+    }
+    s.handles.push_back(
+        disk_.write_async(file_, p.file_offset, {s.buf.get() + p.start,
+                                                 p.bytes}));
+  }
+  cur_ = (cur_ + 1) % slots_.size();
+}
+
+void WriteBehind::drain() {
+  for (auto& s : slots_) reap(s);
+}
+
+}  // namespace fg::pdm

@@ -1,0 +1,123 @@
+// Read-ahead and write-behind on top of Disk's async request path.
+//
+// A sort's read stage knows its whole access pattern up front, and its
+// write stage never needs the written bytes again — the classic double-
+// buffering setup.  These helpers own a small ring of staging slots and
+// keep the disk busy across round boundaries:
+//
+//  * ReadAhead — the caller supplies a Plan (round -> offset/length);
+//    the helper keeps `depth` planned reads in flight and next() hands
+//    the caller the next round's bytes, usually already resident.
+//
+//  * WriteBehind — stage() hands the caller a staging slot to assemble
+//    the round's output in; submit() launches the slot's pieces as async
+//    writes and rotates to the next slot, so the disk writes round t
+//    while the pipeline produces round t+1.  drain() is the checked
+//    barrier (call it from the stage's flush hook, before closing the
+//    file); the destructor only waits and logs.
+//
+// Both helpers route through Disk::read_async/write_async and therefore
+// through the synchronous read/write paths underneath — fault injection,
+// retry absorption, stats, and trace spans all behave exactly as if the
+// stage had called read/write itself; only the overlap changes.
+#pragma once
+
+#include "pdm/disk.hpp"
+
+#include <functional>
+#include <initializer_list>
+
+namespace fg::pdm {
+
+class ReadAhead {
+ public:
+  /// Describe round `round`: set *offset / *bytes and return true, or
+  /// return false when the stream is exhausted.  Called once per round,
+  /// in order, possibly several rounds ahead of consumption.
+  using Plan = std::function<bool(std::uint64_t round, std::uint64_t* offset,
+                                  std::size_t* bytes)>;
+
+  /// @param slot_bytes  max bytes any planned round can ask for
+  /// @param depth       planned reads kept in flight (>= 1)
+  ReadAhead(Disk& disk, const File& f, std::size_t slot_bytes, Plan plan,
+            int depth = 2);
+  ~ReadAhead();
+
+  ReadAhead(const ReadAhead&) = delete;
+  ReadAhead& operator=(const ReadAhead&) = delete;
+
+  /// Block for the next planned read, copy its bytes into `dest`, and
+  /// top the window back up.  Returns bytes delivered; 0 once the plan
+  /// is exhausted.  Rethrows the read's failure (post-retry), like the
+  /// synchronous read the caller replaced.
+  std::size_t next(std::span<std::byte> dest);
+
+ private:
+  struct Slot {
+    std::unique_ptr<std::byte[]> buf;
+    IoHandle handle;
+    std::size_t planned{0};
+    bool in_flight{false};
+  };
+  void prime_one();
+
+  Disk& disk_;
+  const File& file_;
+  std::size_t slot_bytes_;
+  Plan plan_;
+  std::vector<Slot> slots_;
+  std::uint64_t next_plan_{0};
+  std::uint64_t next_take_{0};
+  bool exhausted_{false};
+};
+
+class WriteBehind {
+ public:
+  /// One positioned write out of the staged slot: slot bytes
+  /// [start, start+bytes) go to file offset `file_offset`.
+  struct Piece {
+    std::uint64_t file_offset;
+    std::size_t start;
+    std::size_t bytes;
+  };
+
+  /// @param slot_bytes  staging capacity per slot (one round's output)
+  /// @param depth       slots, i.e. rounds that may be in flight (>= 2
+  ///                    for any overlap)
+  WriteBehind(Disk& disk, const File& f, std::size_t slot_bytes,
+              int depth = 2);
+  ~WriteBehind();
+
+  WriteBehind(const WriteBehind&) = delete;
+  WriteBehind& operator=(const WriteBehind&) = delete;
+
+  /// Acquire the current staging slot, waiting out (and rethrowing the
+  /// failure of) any writes still in flight against it.
+  std::span<std::byte> stage();
+
+  /// Launch the staged slot's pieces as async writes and rotate slots.
+  void submit(const Piece* pieces, std::size_t n);
+  void submit(std::initializer_list<Piece> pieces) {
+    submit(pieces.begin(), pieces.size());
+  }
+
+  /// Wait for every outstanding write; rethrows the first failure.  The
+  /// checked barrier — call before closing the file (a write stage's
+  /// flush hook is the natural place).
+  void drain();
+
+ private:
+  struct Slot {
+    std::unique_ptr<std::byte[]> buf;
+    std::vector<IoHandle> handles;
+  };
+  void reap(Slot& s);
+
+  Disk& disk_;
+  const File& file_;
+  std::size_t slot_bytes_;
+  std::vector<Slot> slots_;
+  std::size_t cur_{0};
+};
+
+}  // namespace fg::pdm

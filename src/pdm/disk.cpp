@@ -1,63 +1,197 @@
 #include "pdm/disk.hpp"
 
 #include "obs/span.hpp"
+#include "pdm/native_disk.hpp"
+#include "pdm/stdio_disk.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
+#include <condition_variable>
 #include <stdexcept>
 #include <thread>
 
 namespace fg::pdm {
 
+const char* to_string(DiskBackend b) noexcept {
+  switch (b) {
+    case DiskBackend::kStdio: return "stdio";
+    case DiskBackend::kNative: return "native";
+  }
+  return "?";
+}
+
+DiskBackend parse_disk_backend(const std::string& name) {
+  if (name == "stdio") return DiskBackend::kStdio;
+  if (name == "native") return DiskBackend::kNative;
+  throw std::invalid_argument(
+      "fg::pdm::parse_disk_backend: expected stdio|native, got '" + name +
+      "'");
+}
+
+std::unique_ptr<Disk> make_disk(DiskBackend backend, std::filesystem::path dir,
+                                util::LatencyModel model, bool direct) {
+  switch (backend) {
+    case DiskBackend::kStdio: {
+      if (direct) {
+        throw std::invalid_argument(
+            "fg::pdm::make_disk: O_DIRECT requires the native backend");
+      }
+      auto d = std::make_unique<StdioDisk>(std::move(dir), model);
+      return d;
+    }
+    case DiskBackend::kNative: {
+      NativeDiskOptions opts;
+      opts.direct = direct;
+      auto d = std::make_unique<NativeDisk>(std::move(dir), opts);
+      d->set_model(model);  // stored for symmetry; never charged
+      return d;
+    }
+  }
+  throw std::invalid_argument("fg::pdm::make_disk: unknown backend");
+}
+
+// -- File -------------------------------------------------------------------
+
 File::~File() {
-  if (f_ && std::fclose(f_) != 0) {
-    // Destructors can't throw; a failed close here means buffered writes
-    // may be lost.  Callers who care route through Disk::close instead.
-    FG_LOG(kError) << "fg::pdm::File: close failed on " << name_
-                   << "; buffered writes may be lost";
+  if (impl_) {
+    if (const char* step = impl_->close_handle()) {
+      // Destructors can't throw; a failed close here means buffered writes
+      // may be lost.  Callers who care route through Disk::close instead.
+      FG_LOG(kError) << "fg::pdm::File: " << step << " failed on " << name_
+                     << "; buffered writes may be lost";
+    }
   }
 }
 
-File::File(File&& other) noexcept : f_(other.f_), name_(std::move(other.name_)) {
-  other.f_ = nullptr;
-}
+File::File(File&& other) noexcept
+    : impl_(std::move(other.impl_)), name_(std::move(other.name_)) {}
 
 File& File::operator=(File&& other) noexcept {
   if (this != &other) {
-    if (f_ && std::fclose(f_) != 0) {
-      FG_LOG(kError) << "fg::pdm::File: close failed on " << name_
-                     << "; buffered writes may be lost";
+    if (impl_) {
+      if (const char* step = impl_->close_handle()) {
+        FG_LOG(kError) << "fg::pdm::File: " << step << " failed on " << name_
+                       << "; buffered writes may be lost";
+      }
     }
-    f_ = other.f_;
+    impl_ = std::move(other.impl_);
     name_ = std::move(other.name_);
-    other.f_ = nullptr;
   }
   return *this;
 }
 
-Disk::Disk(std::filesystem::path dir, util::LatencyModel model)
-    : dir_(std::move(dir)), model_(model) {
+// -- IoHandle ---------------------------------------------------------------
+
+struct IoHandle::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done{false};
+  std::size_t bytes{0};
+  std::exception_ptr error;
+};
+
+bool IoHandle::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+std::size_t IoHandle::wait() {
+  if (!state_) {
+    throw std::logic_error("fg::pdm::IoHandle::wait: empty handle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+  return state_->bytes;
+}
+
+// -- Disk: lifecycle and knobs ----------------------------------------------
+
+struct Disk::AsyncRequest {
+  bool is_write{false};
+  const File* file{nullptr};
+  std::uint64_t offset{0};
+  std::span<std::byte> read_buf;
+  std::span<const std::byte> write_buf;
+  std::shared_ptr<IoHandle::State> state;
+};
+
+Disk::Disk(std::filesystem::path dir) : dir_(std::move(dir)) {
   std::filesystem::create_directories(dir_);
 }
 
+Disk::~Disk() {
+  // Backstop only: backend destructors must already have called
+  // stop_io(), because in-flight requests dispatch through their hooks.
+  stop_io();
+}
+
+util::LatencyModel Disk::model() const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  return model_;
+}
+
+void Disk::set_model(util::LatencyModel m) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  model_ = m;
+}
+
+void Disk::set_seek_aware(bool on) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  seek_aware_ = on;
+}
+
+bool Disk::seek_aware() const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  return seek_aware_;
+}
+
+void Disk::set_fault_injector(fault::Injector* inj, int node) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  injector_ = inj;
+  fault_node_ = node;
+}
+
+void Disk::set_retry_policy(util::RetryPolicy p) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  retry_policy_ = p;
+}
+
+util::RetryPolicy Disk::retry_policy() const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  return retry_policy_;
+}
+
+util::RetryStats Disk::retry_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return retry_stats_;
+}
+
+IoStats Disk::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Disk::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = IoStats{};
+  retry_stats_ = util::RetryStats{};
+}
+
+void Disk::record_busy(util::Duration d) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.busy += d;
+}
+
+// -- Disk: files ------------------------------------------------------------
+
 File Disk::create(const std::string& name) {
-  const auto path = dir_ / name;
-  std::FILE* f = std::fopen(path.c_str(), "w+b");
-  if (!f) {
-    throw std::runtime_error("fg::pdm::Disk::create: cannot create " +
-                             path.string());
-  }
-  return File(f, name);
+  return File(create_once(dir_ / name), name);
 }
 
 File Disk::open(const std::string& name) {
-  const auto path = dir_ / name;
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (!f) {
-    throw std::runtime_error("fg::pdm::Disk::open: cannot open " +
-                             path.string());
-  }
-  return File(f, name);
+  return File(open_once(dir_ / name), name);
 }
 
 bool Disk::exists(const std::string& name) const {
@@ -70,73 +204,70 @@ void Disk::remove(const std::string& name) {
 
 void Disk::close(File& f) {
   if (!f.is_open()) return;
-  std::FILE* h = f.f_;
-  f.f_ = nullptr;
-  bool flushed = false;
-  bool closed = false;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (last_file_ == h) last_file_ = nullptr;
-    flushed = std::fflush(h) == 0;
-    closed = std::fclose(h) == 0;
+  closing(f);
+  std::unique_ptr<File::Impl> impl = std::move(f.impl_);
+  if (const char* step = impl->close_handle()) {
+    throw std::runtime_error(std::string("fg::pdm::Disk::close: ") + step +
+                             " failed on " + f.name());
   }
-  if (!flushed || !closed) {
-    throw std::runtime_error(std::string("fg::pdm::Disk::close: ") +
-                             (!flushed ? "flush" : "close") + " failed on " +
-                             f.name());
+}
+
+void Disk::check_flush_fault(const char* what) const {
+  fault::Injector* inj;
+  int fn;
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    inj = injector_;
+    fn = fault_node_;
+  }
+  if (inj && inj->fire(fault::kDiskFlushError, fn)) {
+    throw std::runtime_error(std::string("fg::pdm::Disk::") + what +
+                             ": injected flush failure");
   }
 }
 
 std::uint64_t Disk::size(const File& f) const {
   if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::size: closed file");
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::fflush(f.f_);
-  return static_cast<std::uint64_t>(
-      std::filesystem::file_size(dir_ / f.name()));
+  check_flush_fault("size");
+  return size_once(f);
 }
 
-void Disk::charge_locked(const File& f, std::uint64_t offset,
-                         std::size_t bytes) {
-  const bool contiguous =
-      seek_aware_ && last_file_ == f.f_ && last_end_ == offset;
-  last_file_ = f.f_;
-  last_end_ = offset + bytes;
-  if (model_.is_free()) return;
-  util::Duration d = model_.cost(bytes);
-  if (contiguous) d -= model_.setup();  // the head is already there
-  if (d < util::Duration::zero()) d = util::Duration::zero();
-  stats_.busy += d;
-  if (d > util::Duration::zero()) std::this_thread::sleep_for(d);
+void Disk::sync(const File& f) {
+  if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::sync: closed file");
+  check_flush_fault("sync");
+  sync_once(f);
 }
 
-std::size_t Disk::read_once(const File& f, std::uint64_t offset,
-                            std::span<std::byte> out, bool* injected_short) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (injector_ && injector_->fire(fault::kDiskReadError, fault_node_)) {
+// -- Disk: synchronous read/write (fault injection + retry loops) -----------
+
+std::size_t Disk::attempt_read(const File& f, std::uint64_t offset,
+                               std::span<std::byte> out,
+                               bool* injected_short) {
+  fault::Injector* inj;
+  int fn;
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    inj = injector_;
+    fn = fault_node_;
+  }
+  if (inj && inj->fire(fault::kDiskReadError, fn)) {
     throw fault::TransientError("fg::pdm::Disk::read: injected I/O error on " +
                                 f.name());
   }
   std::span<std::byte> span = out;
-  if (injector_ && out.size() > 1 &&
-      injector_->fire(fault::kDiskReadShort, fault_node_)) {
+  if (inj && out.size() > 1 && inj->fire(fault::kDiskReadShort, fn)) {
     span = out.first(out.size() / 2);
     *injected_short = true;
   }
-  if (::fseeko(f.f_, static_cast<off_t>(offset), SEEK_SET) != 0) {
-    throw std::runtime_error("fg::pdm::Disk::read: seek failed on " + f.name());
-  }
-  const std::size_t n = std::fread(span.data(), 1, span.size(), f.f_);
+  const std::size_t n = read_once(f, offset, span);
   if (n != span.size()) {
-    if (std::ferror(f.f_)) {
-      std::clearerr(f.f_);
-      throw std::runtime_error("fg::pdm::Disk::read: read failed on " +
-                               f.name());
-    }
     *injected_short = false;  // real EOF inside the span wins
   }
-  ++stats_.read_ops;
-  stats_.bytes_read += n;
-  charge_locked(f, offset, n);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.read_ops;
+    stats_.bytes_read += n;
+  }
   return n;
 }
 
@@ -158,17 +289,17 @@ std::size_t Disk::read(const File& f, std::uint64_t offset,
     ++local.attempts;
     bool injected_short = false;
     try {
-      total += read_once(f, offset + total, out.subspan(total), &injected_short);
+      total +=
+          attempt_read(f, offset + total, out.subspan(total), &injected_short);
     } catch (const fault::TransientError&) {
       if (++failures >= policy.max_attempts) {
         ++local.exhausted;
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
         retry_stats_.merge(local);
         throw;
       }
       ++local.retries;
       retried = true;
-      // Back off outside the spindle mutex so other threads keep the disk.
       {
         obs::ScopedSpan backoff(obs::SpanKind::kDiskRetry,
                                 static_cast<std::uint32_t>(node_ < 0 ? 0
@@ -184,38 +315,37 @@ std::size_t Disk::read(const File& f, std::uint64_t offset,
       continue;
     }
     if (retried) ++local.absorbed;
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     retry_stats_.merge(local);
     return total;
   }
 }
 
-std::size_t Disk::write_once(const File& f, std::uint64_t offset,
-                             std::span<const std::byte> data,
-                             bool* injected_short) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (injector_ && injector_->fire(fault::kDiskWriteError, fault_node_)) {
+std::size_t Disk::attempt_write(const File& f, std::uint64_t offset,
+                                std::span<const std::byte> data,
+                                bool* injected_short) {
+  fault::Injector* inj;
+  int fn;
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    inj = injector_;
+    fn = fault_node_;
+  }
+  if (inj && inj->fire(fault::kDiskWriteError, fn)) {
     throw fault::TransientError("fg::pdm::Disk::write: injected I/O error on " +
                                 f.name());
   }
   std::span<const std::byte> span = data;
-  if (injector_ && data.size() > 1 &&
-      injector_->fire(fault::kDiskWriteShort, fault_node_)) {
+  if (inj && data.size() > 1 && inj->fire(fault::kDiskWriteShort, fn)) {
     span = data.first(data.size() / 2);
     *injected_short = true;
   }
-  if (::fseeko(f.f_, static_cast<off_t>(offset), SEEK_SET) != 0) {
-    throw std::runtime_error("fg::pdm::Disk::write: seek failed on " +
-                             f.name());
+  const std::size_t n = write_once(f, offset, span);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.write_ops;
+    stats_.bytes_written += n;
   }
-  const std::size_t n = std::fwrite(span.data(), 1, span.size(), f.f_);
-  if (n != span.size()) {
-    throw std::runtime_error("fg::pdm::Disk::write: write failed on " +
-                             f.name());
-  }
-  ++stats_.write_ops;
-  stats_.bytes_written += n;
-  charge_locked(f, offset, n);
   return n;
 }
 
@@ -235,11 +365,11 @@ void Disk::write(const File& f, std::uint64_t offset,
     bool injected_short = false;
     try {
       total +=
-          write_once(f, offset + total, data.subspan(total), &injected_short);
+          attempt_write(f, offset + total, data.subspan(total), &injected_short);
     } catch (const fault::TransientError&) {
       if (++failures >= policy.max_attempts) {
         ++local.exhausted;
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
         retry_stats_.merge(local);
         throw;
       }
@@ -260,21 +390,123 @@ void Disk::write(const File& f, std::uint64_t offset,
       continue;
     }
     if (retried) ++local.absorbed;
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     retry_stats_.merge(local);
     return;
   }
 }
 
-IoStats Disk::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+// -- Disk: async request path -----------------------------------------------
+
+void Disk::set_io_workers(int n) {
+  if (n < 1) {
+    throw std::invalid_argument("fg::pdm::Disk::set_io_workers: need >= 1");
+  }
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  if (!io_threads_.empty()) {
+    throw std::logic_error(
+        "fg::pdm::Disk::set_io_workers: worker pool already started");
+  }
+  io_workers_ = n;
 }
 
-void Disk::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = IoStats{};
-  retry_stats_ = util::RetryStats{};
+std::size_t Disk::io_queue_depth() const {
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  return io_queue_.size() + io_inflight_;
+}
+
+IoHandle Disk::submit(AsyncRequest req) {
+  if (!req.file->is_open()) {
+    throw std::logic_error("fg::pdm::Disk: async request on a closed file");
+  }
+  req.state = std::make_shared<IoHandle::State>();
+  IoHandle handle(req.state);
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    if (io_stop_) {
+      throw std::logic_error("fg::pdm::Disk: async request after shutdown");
+    }
+    if (io_threads_.empty()) {
+      io_threads_.reserve(static_cast<std::size_t>(io_workers_));
+      for (int i = 0; i < io_workers_; ++i) {
+        io_threads_.emplace_back([this] { io_worker(); });
+      }
+    }
+    io_queue_.push_back(std::move(req));
+  }
+  io_cv_.notify_one();
+  return handle;
+}
+
+IoHandle Disk::read_async(const File& f, std::uint64_t offset,
+                          std::span<std::byte> out) {
+  AsyncRequest req;
+  req.is_write = false;
+  req.file = &f;
+  req.offset = offset;
+  req.read_buf = out;
+  return submit(std::move(req));
+}
+
+IoHandle Disk::write_async(const File& f, std::uint64_t offset,
+                           std::span<const std::byte> data) {
+  AsyncRequest req;
+  req.is_write = true;
+  req.file = &f;
+  req.offset = offset;
+  req.write_buf = data;
+  return submit(std::move(req));
+}
+
+void Disk::io_worker() {
+  for (;;) {
+    AsyncRequest req;
+    {
+      std::unique_lock<std::mutex> lock(io_mutex_);
+      io_cv_.wait(lock, [this] { return io_stop_ || !io_queue_.empty(); });
+      if (io_queue_.empty()) return;  // stopped and drained
+      req = std::move(io_queue_.front());
+      io_queue_.pop_front();
+      ++io_inflight_;
+    }
+    std::size_t bytes = 0;
+    std::exception_ptr error;
+    try {
+      if (req.is_write) {
+        write(*req.file, req.offset, req.write_buf);
+        bytes = req.write_buf.size();
+      } else {
+        bytes = read(*req.file, req.offset, req.read_buf);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Drop the inflight count before publishing completion: a caller
+    // returning from wait() must observe io_queue_depth() == 0 once the
+    // last request is done.
+    {
+      std::lock_guard<std::mutex> lock(io_mutex_);
+      --io_inflight_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(req.state->mutex);
+      req.state->bytes = bytes;
+      req.state->error = error;
+      req.state->done = true;
+    }
+    req.state->cv.notify_all();
+  }
+}
+
+void Disk::stop_io() noexcept {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    io_stop_ = true;
+    threads.swap(io_threads_);
+  }
+  io_cv_.notify_all();
+  for (auto& t : threads) t.join();  // workers drain the queue, then exit
 }
 
 }  // namespace fg::pdm

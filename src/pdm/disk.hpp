@@ -1,31 +1,50 @@
 // The storage substrate: one Disk per cluster node, file-backed.
 //
-// The paper's nodes each had a single Ultra-320 SCSI drive accessed
-// through the C stdio interface.  We keep the stdio fidelity (FILE*
-// underneath) and add two things the simulation needs:
+// Disk is an abstract interface over positioned file I/O (all operations
+// are pread/pwrite style, because FG stages on several threads interleave
+// accesses to the same file).  Everything every backend must agree on
+// lives here in the base class: handle validation, fault injection,
+// retry/backoff absorption of transient failures, IoStats accounting,
+// obs trace spans, and the async submission queue.  Backends implement
+// only the physical transfer hooks (read_once / write_once / size_once /
+// sync_once plus open/create/close), so fault sites fire identically and
+// retries behave identically no matter what sits underneath.
 //
-//  * a per-disk mutex held for the duration of each operation, so a node's
-//    disk behaves like one spindle: concurrent stage threads serialize at
-//    the disk, which is exactly the contention the paper's unbalanced-I/O
-//    discussion is about;
-//  * an optional latency model (seek + transfer cost) charged while the
-//    mutex is held, restoring the 2005-era ratio of I/O cost to compute
-//    cost so that pass times are I/O-bound as on the real cluster.
+// Two backends:
 //
-// All operations are positioned (pread/pwrite style), because FG stages
-// on several threads interleave accesses to the same file.
+//  * StdioDisk (stdio_disk.hpp) — the simulation backend the paper's
+//    numbers are reproduced on: buffered FILE* I/O, a per-disk mutex held
+//    for the duration of each operation so a node's disk behaves like one
+//    spindle, and an optional latency model (seek + transfer cost)
+//    charged while the mutex is held.
+//
+//  * NativeDisk (native_disk.hpp) — fd-based positioned pread/pwrite
+//    with no stdio buffering and no global spindle mutex (the kernel
+//    serializes per-fd positioned I/O), optional O_DIRECT, and
+//    fdatasync-backed sync().  This is the "as fast as the hardware
+//    allows" backend.
+//
+// On top of the synchronous interface the base provides an asynchronous
+// request path: read_async/write_async enqueue positioned operations on a
+// per-disk submission queue served by a small I/O worker pool and return
+// completion handles.  The sort drivers use it for read-ahead and
+// write-behind (pdm/aio.hpp) so the next round's block is in flight while
+// the current one is being consumed.
 #pragma once
 
 #include "util/latency.hpp"
 #include "util/retry.hpp"
 
+#include <condition_variable>
 #include <cstdint>
-#include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace fg::fault {
 class Injector;
@@ -39,15 +58,37 @@ struct IoStats {
   std::uint64_t bytes_read{0};
   std::uint64_t write_ops{0};
   std::uint64_t bytes_written{0};
-  /// Modeled time this disk spent busy (latency charges).
+  /// Modeled time this disk spent busy (latency charges; simulation
+  /// backends only — NativeDisk takes exactly as long as the hardware).
   util::Duration busy{};
 };
 
+/// Which concrete Disk implementation backs a Workspace.
+enum class DiskBackend {
+  kStdio,   ///< buffered FILE*, spindle mutex, latency model
+  kNative,  ///< fd-based pread/pwrite, kernel-serialized, no model
+};
+
+const char* to_string(DiskBackend b) noexcept;
+/// "stdio" or "native"; throws std::invalid_argument naming the input
+/// otherwise.
+DiskBackend parse_disk_backend(const std::string& name);
+
 class Disk;
 
-/// Move-only RAII handle to an open file on a Disk.
+/// Move-only RAII handle to an open file on a Disk.  The backend-specific
+/// state (a FILE*, an fd) hides behind File::Impl.
 class File {
  public:
+  /// Backend-private open-file state.  close_handle() flushes and closes
+  /// the underlying handle exactly once and returns nullptr on success or
+  /// the name of the failed step ("flush", "close") — destructors use it
+  /// as a best-effort fallback, Disk::close turns a failure into a throw.
+  struct Impl {
+    virtual ~Impl() = default;
+    virtual const char* close_handle() noexcept = 0;
+  };
+
   File() = default;
   ~File();
   File(File&& other) noexcept;
@@ -55,67 +96,72 @@ class File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
 
-  bool is_open() const noexcept { return f_ != nullptr; }
+  bool is_open() const noexcept { return impl_ != nullptr; }
   const std::string& name() const noexcept { return name_; }
 
  private:
   friend class Disk;
-  File(std::FILE* f, std::string name) : f_(f), name_(std::move(name)) {}
+  File(std::unique_ptr<Impl> impl, std::string name)
+      : impl_(std::move(impl)), name_(std::move(name)) {}
 
-  std::FILE* f_{nullptr};
+  std::unique_ptr<Impl> impl_;
   std::string name_;
+};
+
+/// Completion handle for an asynchronous disk request.  wait() joins the
+/// operation: it returns the bytes transferred (reads may be short at
+/// EOF) or rethrows whatever the operation threw — after the retry layer
+/// gave up, exactly as the synchronous call would have.  Handles may be
+/// waited at most once-per-result but from any thread; done() polls.
+class IoHandle {
+ public:
+  IoHandle() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool done() const;
+  std::size_t wait();
+
+ private:
+  friend class Disk;
+  struct State;
+  explicit IoHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
 };
 
 class Disk {
  public:
   /// @param dir    directory backing this disk (created if absent)
-  /// @param model  per-operation cost: setup ~ seek, bandwidth ~ transfer
-  explicit Disk(std::filesystem::path dir,
-                util::LatencyModel model = util::LatencyModel::free());
+  explicit Disk(std::filesystem::path dir);
+  virtual ~Disk();
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
-  const std::filesystem::path& dir() const noexcept { return dir_; }
-  util::LatencyModel model() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return model_;
-  }
+  virtual DiskBackend backend() const noexcept = 0;
+  const char* backend_name() const noexcept { return to_string(backend()); }
 
-  /// Swap the latency model.  Dataset generation and verification run
-  /// with a free model so that only the measured passes pay simulated
-  /// I/O latency.
-  void set_model(util::LatencyModel m) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    model_ = m;
-  }
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// The latency model (simulation backends charge it per operation;
+  /// NativeDisk stores but ignores it).  Dataset generation and
+  /// verification run with a free model so that only the measured passes
+  /// pay simulated I/O latency.
+  util::LatencyModel model() const;
+  void set_model(util::LatencyModel m);
 
   /// Seek-aware mode: the model's setup cost represents the seek, so an
   /// operation that continues exactly where the previous operation on
-  /// this disk left off (same file, next byte) pays only the transfer
-  /// cost.  Off by default: every operation pays the full setup, which
-  /// over-charges purely sequential streams but treats all programs
-  /// equally.  With it on, sequential scans speed up and interleaved
-  /// access patterns pay for their seeks — closer to a real spindle.
-  void set_seek_aware(bool on) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    seek_aware_ = on;
-    last_file_ = nullptr;
-  }
-  bool seek_aware() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return seek_aware_;
-  }
+  /// this disk left off (same open file, next byte) pays only the
+  /// transfer cost.  Off by default.  Simulation backends only.
+  virtual void set_seek_aware(bool on);
+  bool seek_aware() const;
 
-  /// Attach a fault injector: read/write consult the disk.* sites on
-  /// every operation and translate a firing into a transient EIO or a
-  /// short transfer.  `node` tags this disk's operations for @node-scoped
+  /// Attach a fault injector: every operation consults the disk.* sites
+  /// and translates a firing into a transient EIO, a short transfer, or
+  /// a flush failure — in the base class, so both backends fail
+  /// identically.  `node` tags this disk's operations for @node-scoped
   /// rules.  Pass nullptr to detach.  The injector must outlive the disk.
-  void set_fault_injector(fault::Injector* inj, int node = -1) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    injector_ = inj;
-    fault_node_ = node;
-  }
+  void set_fault_injector(fault::Injector* inj, int node = -1);
 
   /// Node id used to tag this disk's trace spans (obs::SpanKind::kDisk*).
   /// Set once at workspace construction, before any worker thread runs.
@@ -125,20 +171,11 @@ class Disk {
   /// How read/write respond to transient failures.  The default policy
   /// (no retries) propagates every failure, which is what logic tests
   /// want; chaos runs install util::RetryPolicy::standard().
-  void set_retry_policy(util::RetryPolicy p) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    retry_policy_ = p;
-  }
-  util::RetryPolicy retry_policy() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return retry_policy_;
-  }
+  void set_retry_policy(util::RetryPolicy p);
+  util::RetryPolicy retry_policy() const;
 
   /// What the retry layer absorbed since construction / reset_stats().
-  util::RetryStats retry_stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return retry_stats_;
-  }
+  util::RetryStats retry_stats() const;
 
   /// Create (truncate) a file for read/write.
   File create(const std::string& name);
@@ -151,10 +188,16 @@ class Disk {
   /// path for files whose buffered writes matter.  Idempotent: closing an
   /// already-closed handle is a no-op.  (The File destructor remains a
   /// best-effort fallback that logs, rather than loses, a close failure.)
+  /// Every async request against `f` must have completed first.
   void close(File& f);
 
-  /// Current size in bytes.
+  /// Current size in bytes.  Flushes buffered writes first and throws if
+  /// the flush fails — a stale size is worse than an exception.
   std::uint64_t size(const File& f) const;
+
+  /// Flush `f`'s bytes to stable storage (fdatasync on NativeDisk,
+  /// fflush+fsync on StdioDisk); throws on failure.
+  void sync(const File& f);
 
   /// Positioned read; returns bytes actually read (short at EOF).
   std::size_t read(const File& f, std::uint64_t offset,
@@ -164,32 +207,97 @@ class Disk {
   void write(const File& f, std::uint64_t offset,
              std::span<const std::byte> data);
 
+  /// Asynchronous positioned read/write: enqueue the operation on this
+  /// disk's submission queue and return immediately.  The I/O worker pool
+  /// executes it through exactly the synchronous path above (fault
+  /// injection, retries, stats).  The caller must keep `f` open and the
+  /// data span alive until the handle completes, and must wait every
+  /// handle before closing `f`.
+  IoHandle read_async(const File& f, std::uint64_t offset,
+                      std::span<std::byte> out);
+  IoHandle write_async(const File& f, std::uint64_t offset,
+                       std::span<const std::byte> data);
+
+  /// Size of the I/O worker pool serving the submission queue (default
+  /// 2).  Must be called before the first async request; with 1 worker,
+  /// requests complete in submission order.
+  void set_io_workers(int n);
+
+  /// Requests submitted but not yet completed (for tests/heartbeats).
+  std::size_t io_queue_depth() const;
+
   IoStats stats() const;
   void reset_stats();
 
+ protected:
+  // -- physical hooks, implemented by backends --------------------------
+  // One physical attempt each; no fault injection, no retries, no stats:
+  // the base owns all of that.  read_once returns bytes read (short at
+  // EOF); write_once must transfer the whole span or throw.
+  virtual std::unique_ptr<File::Impl> create_once(
+      const std::filesystem::path& path) = 0;
+  virtual std::unique_ptr<File::Impl> open_once(
+      const std::filesystem::path& path) = 0;
+  virtual std::size_t read_once(const File& f, std::uint64_t offset,
+                                std::span<std::byte> out) = 0;
+  virtual std::size_t write_once(const File& f, std::uint64_t offset,
+                                 std::span<const std::byte> data) = 0;
+  virtual std::uint64_t size_once(const File& f) const = 0;
+  virtual void sync_once(const File& f) = 0;
+  /// Called (with the file still open) just before the base closes it, so
+  /// a backend can drop per-file bookkeeping (e.g. the seek-model head).
+  virtual void closing(const File&) {}
+
+  /// Record modeled busy time (simulation backends' latency charges).
+  void record_busy(util::Duration d);
+
+  /// Stop and join the I/O worker pool, draining queued requests first.
+  /// Every backend destructor MUST call this before destroying its own
+  /// state: workers execute requests through the virtual hooks.
+  void stop_io() noexcept;
+
+  static File::Impl* impl_of(const File& f) noexcept { return f.impl_.get(); }
+
  private:
-  void charge_locked(const File& f, std::uint64_t offset, std::size_t bytes);
-  /// One physical attempt.  Sets *injected_short when an armed
-  /// disk.*.short site truncated the transfer and the truncated span was
-  /// fully satisfied (a real EOF inside the span wins and clears it).
-  std::size_t read_once(const File& f, std::uint64_t offset,
-                        std::span<std::byte> out, bool* injected_short);
-  std::size_t write_once(const File& f, std::uint64_t offset,
-                         std::span<const std::byte> data,
-                         bool* injected_short);
+  struct AsyncRequest;
+  std::size_t attempt_read(const File& f, std::uint64_t offset,
+                           std::span<std::byte> out, bool* injected_short);
+  std::size_t attempt_write(const File& f, std::uint64_t offset,
+                            std::span<const std::byte> data,
+                            bool* injected_short);
+  void check_flush_fault(const char* what) const;
+  IoHandle submit(AsyncRequest req);
+  void io_worker();
 
   std::filesystem::path dir_;
+
+  mutable std::mutex config_mutex_;  ///< knobs below
   util::LatencyModel model_;
-  mutable std::mutex mutex_;  ///< the "spindle": serializes all operations
-  IoStats stats_;
   bool seek_aware_{false};
-  const std::FILE* last_file_{nullptr};  ///< head position: file...
-  std::uint64_t last_end_{0};            ///< ...and the byte after last op
   fault::Injector* injector_{nullptr};
   int fault_node_{-1};
-  int node_{0};  ///< span scope; written before threads, read-only after
   util::RetryPolicy retry_policy_{};
+
+  mutable std::mutex stats_mutex_;  ///< counters below
+  IoStats stats_;
   util::RetryStats retry_stats_;
+
+  int node_{0};  ///< span scope; written before threads, read-only after
+
+  // -- async submission queue ------------------------------------------
+  mutable std::mutex io_mutex_;
+  std::condition_variable io_cv_;
+  std::deque<AsyncRequest> io_queue_;
+  std::vector<std::thread> io_threads_;
+  std::size_t io_inflight_{0};
+  bool io_stop_{false};
+  int io_workers_{2};
 };
+
+/// Construct a Disk of the given backend.  `direct` requests O_DIRECT
+/// (NativeDisk only; StdioDisk rejects it).
+std::unique_ptr<Disk> make_disk(DiskBackend backend, std::filesystem::path dir,
+                                util::LatencyModel model = util::LatencyModel::free(),
+                                bool direct = false);
 
 }  // namespace fg::pdm

@@ -1,0 +1,163 @@
+#include "pdm/stdio_disk.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+#include <thread>
+
+namespace fg::pdm {
+
+struct StdioDisk::StdioFile final : File::Impl {
+  std::FILE* f{nullptr};
+  std::uint64_t generation{0};  ///< unique per open, never reused
+
+  const char* close_handle() noexcept override {
+    std::FILE* h = f;
+    f = nullptr;
+    if (!h) return nullptr;
+    const bool flushed = std::fflush(h) == 0;
+    const bool closed = std::fclose(h) == 0;
+    if (!flushed) return "flush";
+    if (!closed) return "close";
+    return nullptr;
+  }
+
+  ~StdioFile() override {
+    if (f) std::fclose(f);  // close_handle not called; last-resort release
+  }
+};
+
+StdioDisk::StdioDisk(std::filesystem::path dir, util::LatencyModel model)
+    : Disk(std::move(dir)) {
+  set_model(model);
+}
+
+StdioDisk::~StdioDisk() {
+  // Join the I/O workers before our members go away: in-flight requests
+  // dispatch through our virtual hooks.
+  stop_io();
+}
+
+StdioDisk::StdioFile& StdioDisk::handle(const File& f) {
+  return *static_cast<StdioFile*>(impl_of(f));
+}
+
+std::unique_ptr<File::Impl> StdioDisk::create_once(
+    const std::filesystem::path& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (!f) {
+    throw std::runtime_error("fg::pdm::StdioDisk::create: cannot create " +
+                             path.string());
+  }
+  auto impl = std::make_unique<StdioFile>();
+  impl->f = f;
+  {
+    std::lock_guard<std::mutex> lock(spindle_mutex_);
+    impl->generation = next_generation_++;
+  }
+  return impl;
+}
+
+std::unique_ptr<File::Impl> StdioDisk::open_once(
+    const std::filesystem::path& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (!f) {
+    throw std::runtime_error("fg::pdm::StdioDisk::open: cannot open " +
+                             path.string());
+  }
+  auto impl = std::make_unique<StdioFile>();
+  impl->f = f;
+  {
+    std::lock_guard<std::mutex> lock(spindle_mutex_);
+    impl->generation = next_generation_++;
+  }
+  return impl;
+}
+
+void StdioDisk::closing(const File& f) {
+  std::lock_guard<std::mutex> lock(spindle_mutex_);
+  if (head_generation_ == handle(f).generation) {
+    head_generation_ = 0;  // the head position is no longer meaningful
+  }
+}
+
+void StdioDisk::set_seek_aware(bool on) {
+  Disk::set_seek_aware(on);
+  std::lock_guard<std::mutex> lock(spindle_mutex_);
+  head_generation_ = 0;
+}
+
+void StdioDisk::charge_locked(const StdioFile& sf, std::uint64_t offset,
+                              std::size_t bytes) {
+  const bool contiguous = seek_aware() && head_generation_ == sf.generation &&
+                          head_end_ == offset;
+  head_generation_ = sf.generation;
+  head_end_ = offset + bytes;
+  const util::LatencyModel m = model();
+  if (m.is_free()) return;
+  util::Duration d = m.cost(bytes);
+  if (contiguous) d -= m.setup();  // the head is already there
+  if (d < util::Duration::zero()) d = util::Duration::zero();
+  record_busy(d);
+  if (d > util::Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+std::size_t StdioDisk::read_once(const File& f, std::uint64_t offset,
+                                 std::span<std::byte> out) {
+  std::lock_guard<std::mutex> lock(spindle_mutex_);
+  StdioFile& sf = handle(f);
+  if (::fseeko(sf.f, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    throw std::runtime_error("fg::pdm::StdioDisk::read: seek failed on " +
+                             f.name());
+  }
+  const std::size_t n = std::fread(out.data(), 1, out.size(), sf.f);
+  if (n != out.size() && std::ferror(sf.f)) {
+    std::clearerr(sf.f);
+    throw std::runtime_error("fg::pdm::StdioDisk::read: read failed on " +
+                             f.name());
+  }
+  charge_locked(sf, offset, n);
+  return n;
+}
+
+std::size_t StdioDisk::write_once(const File& f, std::uint64_t offset,
+                                  std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(spindle_mutex_);
+  StdioFile& sf = handle(f);
+  if (::fseeko(sf.f, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    throw std::runtime_error("fg::pdm::StdioDisk::write: seek failed on " +
+                             f.name());
+  }
+  const std::size_t n = std::fwrite(data.data(), 1, data.size(), sf.f);
+  if (n != data.size()) {
+    throw std::runtime_error("fg::pdm::StdioDisk::write: write failed on " +
+                             f.name());
+  }
+  charge_locked(sf, offset, n);
+  return n;
+}
+
+std::uint64_t StdioDisk::size_once(const File& f) const {
+  std::lock_guard<std::mutex> lock(spindle_mutex_);
+  if (std::fflush(handle(f).f) != 0) {
+    throw std::runtime_error("fg::pdm::StdioDisk::size: flush failed on " +
+                             f.name() + "; size would be stale");
+  }
+  return static_cast<std::uint64_t>(
+      std::filesystem::file_size(dir() / f.name()));
+}
+
+void StdioDisk::sync_once(const File& f) {
+  std::lock_guard<std::mutex> lock(spindle_mutex_);
+  StdioFile& sf = handle(f);
+  if (std::fflush(sf.f) != 0) {
+    throw std::runtime_error("fg::pdm::StdioDisk::sync: flush failed on " +
+                             f.name());
+  }
+  if (::fsync(::fileno(sf.f)) != 0) {
+    throw std::runtime_error("fg::pdm::StdioDisk::sync: fsync failed on " +
+                             f.name());
+  }
+}
+
+}  // namespace fg::pdm

@@ -1,0 +1,53 @@
+// The simulation backend: buffered FILE* I/O behind a per-disk spindle
+// mutex, with an optional latency model charged while the mutex is held.
+// This is the backend the paper's numbers are reproduced on — one
+// outstanding operation per disk, seek + transfer costs, deterministic
+// busy-time accounting.
+#pragma once
+
+#include "pdm/disk.hpp"
+
+#include <cstdio>
+
+namespace fg::pdm {
+
+class StdioDisk final : public Disk {
+ public:
+  explicit StdioDisk(std::filesystem::path dir,
+                     util::LatencyModel model = util::LatencyModel::free());
+  ~StdioDisk() override;
+
+  DiskBackend backend() const noexcept override { return DiskBackend::kStdio; }
+
+  void set_seek_aware(bool on) override;
+
+ protected:
+  std::unique_ptr<File::Impl> create_once(
+      const std::filesystem::path& path) override;
+  std::unique_ptr<File::Impl> open_once(
+      const std::filesystem::path& path) override;
+  std::size_t read_once(const File& f, std::uint64_t offset,
+                        std::span<std::byte> out) override;
+  std::size_t write_once(const File& f, std::uint64_t offset,
+                         std::span<const std::byte> data) override;
+  std::uint64_t size_once(const File& f) const override;
+  void sync_once(const File& f) override;
+  void closing(const File& f) override;
+
+ private:
+  struct StdioFile;
+  static StdioFile& handle(const File& f);
+  void charge_locked(const StdioFile& sf, std::uint64_t offset,
+                     std::size_t bytes);
+
+  /// The spindle: held for the duration of every physical operation so a
+  /// node's disk services one request at a time, like one arm.
+  mutable std::mutex spindle_mutex_;
+  /// Seek-model head position, keyed by per-open generation id — never by
+  /// FILE* address, which the allocator reuses across close/reopen.
+  std::uint64_t next_generation_{1};
+  std::uint64_t head_generation_{0};  ///< 0 = head position unknown
+  std::uint64_t head_end_{0};
+};
+
+}  // namespace fg::pdm

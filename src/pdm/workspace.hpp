@@ -16,12 +16,14 @@ class Workspace {
  public:
   /// Create a workspace with one Disk per node under a fresh unique
   /// directory in the system temp dir.
-  Workspace(int nodes, util::LatencyModel disk_model = util::LatencyModel::free());
+  Workspace(int nodes, util::LatencyModel disk_model = util::LatencyModel::free(),
+            DiskBackend backend = DiskBackend::kStdio, bool direct = false);
 
   /// Create under an explicit root (created if needed; still removed on
   /// destruction unless keep() is called).
   Workspace(std::filesystem::path root, int nodes,
-            util::LatencyModel disk_model);
+            util::LatencyModel disk_model,
+            DiskBackend backend = DiskBackend::kStdio, bool direct = false);
 
   ~Workspace();
 
@@ -29,6 +31,7 @@ class Workspace {
   Workspace& operator=(const Workspace&) = delete;
 
   int nodes() const noexcept { return static_cast<int>(disks_.size()); }
+  DiskBackend backend() const noexcept { return backend_; }
   Disk& disk(int node) { return *disks_.at(static_cast<std::size_t>(node)); }
   const Disk& disk(int node) const {
     return *disks_.at(static_cast<std::size_t>(node));
@@ -74,6 +77,7 @@ class Workspace {
  private:
   std::filesystem::path root_;
   std::vector<std::unique_ptr<Disk>> disks_;
+  DiskBackend backend_{DiskBackend::kStdio};
   bool keep_{false};
 };
 

@@ -1,6 +1,7 @@
 #include "sort/csort.hpp"
 
 #include "core/fg.hpp"
+#include "pdm/aio.hpp"
 #include "sort/dataset.hpp"
 #include "sort/kernels.hpp"
 #include "util/timer.hpp"
@@ -167,12 +168,20 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pc.rounds = g.cpn;
       Pipeline& pl = graph.add_pipeline(pc);
 
+      // Column t*P+me := this node's local records [t*r, (t+1)*r); any
+      // fixed initial assignment is a legal columnsort starting point.
+      // The scan is sequential, so read-ahead keeps the next columns in
+      // flight while this one is sorted and shuffled.
+      pdm::ReadAhead read_ahead(
+          disk, input, g.col_bytes(),
+          [&](std::uint64_t round, std::uint64_t* offset, std::size_t* bytes) {
+            if (round >= g.cpn) return false;
+            *offset = round * g.col_bytes();
+            *bytes = static_cast<std::size_t>(g.col_bytes());
+            return true;
+          });
       MapStage read("read", [&](Buffer& b) {
-        // Column t*P+me := this node's local records [t*r, (t+1)*r); any
-        // fixed initial assignment is a legal columnsort starting point.
-        disk.read(input, b.round() * g.col_bytes(),
-                  b.data().first(g.col_bytes()));
-        b.set_size(g.col_bytes());
+        b.set_size(read_ahead.next(b.data().first(g.col_bytes())));
         return StageAction::kConvey;
       });
 
@@ -209,29 +218,42 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
         return StageAction::kConvey;
       });
 
-      MapStage write("write", [&](Buffer& b) {
-        // Column-major intermediate layout: gather, per local column m,
-        // the P received chunks (one per source of this round) and write
-        // them as one contiguous slice of column m's region, so pass 2
-        // reads whole columns sequentially.  (Placement *within* the
-        // column is irrelevant: step 3 re-sorts it.)
-        const std::uint64_t t = b.round();
-        auto aux = b.aux();
-        const std::byte* src = b.contents().data();
-        for (std::uint64_t m = 0; m < g.cpn; ++m) {
-          for (int p = 0; p < g.p; ++p) {
-            std::memcpy(aux.data() +
-                            static_cast<std::uint64_t>(p) * g.chunk * g.rec,
-                        src + (static_cast<std::uint64_t>(p) * g.blk_records() +
-                               m * g.chunk) * g.rec,
-                        g.chunk * g.rec);
-          }
-          const std::uint64_t slice = static_cast<std::uint64_t>(g.p) * g.chunk;
-          disk.write(p1, (m * g.r + t * slice) * g.rec,
-                     aux.first(slice * g.rec));
-        }
-        return StageAction::kConvey;
-      });
+      // Column-major intermediate layout: gather, per local column m, the
+      // P received chunks (one per source of this round) into a write-
+      // behind slot and launch the column slices as async writes, so pass
+      // 2 reads whole columns sequentially and the disk writes round t
+      // while round t+1 is communicated.  (Placement *within* the column
+      // is irrelevant: step 3 re-sorts it.)
+      pdm::WriteBehind write_behind(disk, p1, g.col_bytes());
+      MapStage write(
+          "write",
+          [&](Buffer& b) {
+            const std::uint64_t t = b.round();
+            auto slot = write_behind.stage();
+            const std::byte* src = b.contents().data();
+            const std::uint64_t slice =
+                static_cast<std::uint64_t>(g.p) * g.chunk;
+            std::vector<pdm::WriteBehind::Piece> pieces;
+            pieces.reserve(g.cpn);
+            for (std::uint64_t m = 0; m < g.cpn; ++m) {
+              for (int p = 0; p < g.p; ++p) {
+                std::memcpy(slot.data() +
+                                (m * slice +
+                                 static_cast<std::uint64_t>(p) * g.chunk) *
+                                    g.rec,
+                            src + (static_cast<std::uint64_t>(p) *
+                                       g.blk_records() +
+                                   m * g.chunk) * g.rec,
+                            g.chunk * g.rec);
+              }
+              pieces.push_back(pdm::WriteBehind::Piece{
+                  (m * g.r + t * slice) * g.rec, m * slice * g.rec,
+                  slice * g.rec});
+            }
+            write_behind.submit(pieces.data(), pieces.size());
+            return StageAction::kConvey;
+          },
+          [&](PipelineId) { write_behind.drain(); });
 
       pl.add_stage(read);
       pl.add_stage(sort_stage);
@@ -269,12 +291,19 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pc.rounds = g.cpn;
       Pipeline& pl = graph.add_pipeline(pc);
 
+      // Pass 1 left the intermediate file column-major: my column with
+      // local index t is one contiguous region, so the scan is sequential
+      // and read-ahead applies directly.
+      pdm::ReadAhead read_ahead(
+          disk, p1, g.col_bytes(),
+          [&](std::uint64_t round, std::uint64_t* offset, std::size_t* bytes) {
+            if (round >= g.cpn) return false;
+            *offset = round * g.col_bytes();
+            *bytes = static_cast<std::size_t>(g.col_bytes());
+            return true;
+          });
       MapStage read("read", [&](Buffer& b) {
-        // Pass 1 left the intermediate file column-major: my column with
-        // local index t is one contiguous region.
-        disk.read(p1, b.round() * g.col_bytes(),
-                  b.data().first(g.col_bytes()));
-        b.set_size(g.col_bytes());
+        b.set_size(read_ahead.next(b.data().first(g.col_bytes())));
         return StageAction::kConvey;
       });
 
@@ -309,25 +338,38 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
         return StageAction::kConvey;
       });
 
-      MapStage write("write", [&](Buffer& b) {
-        // Same column-major gather-and-slice as pass 1's write, into p2.
-        const std::uint64_t t = b.round();
-        auto aux = b.aux();
-        const std::byte* src = b.contents().data();
-        for (std::uint64_t m = 0; m < g.cpn; ++m) {
-          for (int p = 0; p < g.p; ++p) {
-            std::memcpy(aux.data() +
-                            static_cast<std::uint64_t>(p) * g.chunk * g.rec,
-                        src + (static_cast<std::uint64_t>(p) * g.blk_records() +
-                               m * g.chunk) * g.rec,
-                        g.chunk * g.rec);
-          }
-          const std::uint64_t slice = static_cast<std::uint64_t>(g.p) * g.chunk;
-          disk.write(p2, (m * g.r + t * slice) * g.rec,
-                     aux.first(slice * g.rec));
-        }
-        return StageAction::kConvey;
-      });
+      // Same column-major gather-and-slice as pass 1's write, into p2,
+      // through the same write-behind slot scheme.
+      pdm::WriteBehind write_behind(disk, p2, g.col_bytes());
+      MapStage write(
+          "write",
+          [&](Buffer& b) {
+            const std::uint64_t t = b.round();
+            auto slot = write_behind.stage();
+            const std::byte* src = b.contents().data();
+            const std::uint64_t slice =
+                static_cast<std::uint64_t>(g.p) * g.chunk;
+            std::vector<pdm::WriteBehind::Piece> pieces;
+            pieces.reserve(g.cpn);
+            for (std::uint64_t m = 0; m < g.cpn; ++m) {
+              for (int p = 0; p < g.p; ++p) {
+                std::memcpy(slot.data() +
+                                (m * slice +
+                                 static_cast<std::uint64_t>(p) * g.chunk) *
+                                    g.rec,
+                            src + (static_cast<std::uint64_t>(p) *
+                                       g.blk_records() +
+                                   m * g.chunk) * g.rec,
+                            g.chunk * g.rec);
+              }
+              pieces.push_back(pdm::WriteBehind::Piece{
+                  (m * g.r + t * slice) * g.rec, m * slice * g.rec,
+                  slice * g.rec});
+            }
+            write_behind.submit(pieces.data(), pieces.size());
+            return StageAction::kConvey;
+          },
+          [&](PipelineId) { write_behind.drain(); });
 
       pl.add_stage(read);
       pl.add_stage(sort_stage);
@@ -367,11 +409,17 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
       pc.rounds = g.cpn;
       Pipeline& pl = graph.add_pipeline(pc);
 
+      // p2 is column-major too: one contiguous read per column.
+      pdm::ReadAhead read_ahead(
+          disk, p2, g.col_bytes(),
+          [&](std::uint64_t round, std::uint64_t* offset, std::size_t* bytes) {
+            if (round >= g.cpn) return false;
+            *offset = round * g.col_bytes();
+            *bytes = static_cast<std::size_t>(g.col_bytes());
+            return true;
+          });
       MapStage read("read", [&](Buffer& b) {
-        // p2 is column-major too: one contiguous read per column.
-        disk.read(p2, b.round() * g.col_bytes(),
-                  b.data().first(g.col_bytes()));
-        b.set_size(g.col_bytes());
+        b.set_size(read_ahead.next(b.data().first(g.col_bytes())));
         return StageAction::kConvey;
       });
 
@@ -464,25 +512,40 @@ SortResult run_csort(comm::Cluster& cluster, pdm::Workspace& ws,
         return StageAction::kConvey;
       });
 
-      MapStage write("write", [&](Buffer& b) {
-        const std::byte* base = b.contents().data();
-        std::size_t off = static_cast<std::size_t>(g.p) * 8;
-        for (int pp = 0; pp < g.p; ++pp) {
-          std::uint64_t seg;
-          std::memcpy(&seg, base + static_cast<std::size_t>(pp) * 8, 8);
-          const std::size_t seg_end = off + seg;
-          while (off < seg_end) {
-            std::uint64_t gpos;
-            std::uint32_t c;
-            std::memcpy(&gpos, base + off, 8);
-            std::memcpy(&c, base + off + 8, 4);
-            disk.write(out, layout.local_byte_offset(gpos),
-                       {base + off + 12, std::size_t{c} * g.rec});
-            off += 12 + std::size_t{c} * g.rec;
-          }
-        }
-        return StageAction::kConvey;
-      });
+      // The received segments are copied (headers stripped) into a
+      // write-behind slot; each segment becomes one positioned async
+      // write at its striped home.
+      pdm::WriteBehind write_behind(
+          disk, out, std::max<std::size_t>(g.col_bytes(), p3cap));
+      MapStage write(
+          "write",
+          [&](Buffer& b) {
+            const std::byte* base = b.contents().data();
+            auto slot = write_behind.stage();
+            std::vector<pdm::WriteBehind::Piece> pieces;
+            std::size_t off = static_cast<std::size_t>(g.p) * 8;
+            std::size_t staged = 0;
+            for (int pp = 0; pp < g.p; ++pp) {
+              std::uint64_t seg;
+              std::memcpy(&seg, base + static_cast<std::size_t>(pp) * 8, 8);
+              const std::size_t seg_end = off + seg;
+              while (off < seg_end) {
+                std::uint64_t gpos;
+                std::uint32_t c;
+                std::memcpy(&gpos, base + off, 8);
+                std::memcpy(&c, base + off + 8, 4);
+                const std::size_t bytes = std::size_t{c} * g.rec;
+                std::memcpy(slot.data() + staged, base + off + 12, bytes);
+                pieces.push_back(pdm::WriteBehind::Piece{
+                    layout.local_byte_offset(gpos), staged, bytes});
+                staged += bytes;
+                off += 12 + bytes;
+              }
+            }
+            write_behind.submit(pieces.data(), pieces.size());
+            return StageAction::kConvey;
+          },
+          [&](PipelineId) { write_behind.drain(); });
 
       pl.add_stage(read);
       pl.add_stage(sort_stage);

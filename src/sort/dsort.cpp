@@ -1,6 +1,7 @@
 #include "sort/dsort.hpp"
 
 #include "core/fg.hpp"
+#include "pdm/aio.hpp"
 #include "sort/dataset.hpp"
 #include "sort/kernels.hpp"
 #include "sort/splitters.hpp"
@@ -210,16 +211,25 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       Pipeline& rp = graph.add_pipeline(recv_cfg);
 
       // --- send pipeline: read -> permute -> send -----------------------
+      // Read-ahead: the scan is strictly sequential, so keep the next
+      // rounds' blocks in flight while this round is being partitioned.
       const std::uint64_t local_records = layout.node_records(me, cfg.records);
-      std::uint64_t read_off = 0;
-      MapStage read("read", [&, me](Buffer& b) {
-        (void)me;
-        const std::uint64_t n =
-            std::min<std::uint64_t>(cfg.buffer_records, local_records - read_off);
+      pdm::ReadAhead read_ahead(
+          disk, input, cfg.buffer_records * rec,
+          [&](std::uint64_t round, std::uint64_t* offset, std::size_t* bytes) {
+            const std::uint64_t start = round * cfg.buffer_records;
+            if (start >= local_records) return false;
+            const std::uint64_t n =
+                std::min<std::uint64_t>(cfg.buffer_records,
+                                        local_records - start);
+            *offset = start * rec;
+            *bytes = static_cast<std::size_t>(n * rec);
+            return true;
+          });
+      MapStage read("read", [&](Buffer& b) {
+        const std::size_t n = read_ahead.next(b.data());
         if (n == 0) return StageAction::kRecycleAndClose;
-        disk.read(input, read_off * rec, b.data().first(n * rec));
-        b.set_size(n * rec);
-        read_off += n;
+        b.set_size(n);
         return StageAction::kConvey;
       });
 
@@ -310,15 +320,25 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
         return StageAction::kConvey;
       });
 
+      // Write-behind: stage the sorted run into a slot and let the I/O
+      // workers write it while the next run is received and sorted.  The
+      // flush hook is the checked barrier before the runs file closes.
+      pdm::WriteBehind write_behind(disk, runs_file, cfg.buffer_records * rec);
       std::uint64_t write_off = 0;
-      MapStage write("write", [&](Buffer& b) {
-        disk.write(runs_file, write_off * rec, b.contents());
-        const std::uint64_t n = b.size() / rec;
-        st.runs.push_back(Run{write_off, n});
-        st.received_records += n;
-        write_off += n;
-        return StageAction::kConvey;
-      });
+      MapStage write(
+          "write",
+          [&](Buffer& b) {
+            auto slot = write_behind.stage();
+            std::memcpy(slot.data(), b.contents().data(), b.size());
+            write_behind.submit(
+                {pdm::WriteBehind::Piece{write_off * rec, 0, b.size()}});
+            const std::uint64_t n = b.size() / rec;
+            st.runs.push_back(Run{write_off, n});
+            st.received_records += n;
+            write_off += n;
+            return StageAction::kConvey;
+          },
+          [&](PipelineId) { write_behind.drain(); });
 
       rp.add_stage(receive);
       rp.add_stage(sort_stage);
@@ -366,18 +386,32 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
       const std::size_t k = st.runs.size();
       std::vector<Pipeline*> verticals;
       verticals.reserve(k);
-      std::vector<std::uint64_t> consumed(k, 0);
+      // One single-slot read-ahead per run: each run's scan is sequential
+      // within the runs file, so its next block prefetches while the
+      // merge drains the current one.
+      std::vector<std::unique_ptr<pdm::ReadAhead>> run_ahead;
+      run_ahead.reserve(k);
+      for (std::size_t v = 0; v < k; ++v) {
+        const Run run = st.runs[v];
+        run_ahead.push_back(std::make_unique<pdm::ReadAhead>(
+            disk, runs_file, cfg.merge_buffer_records * rec,
+            [&, run](std::uint64_t round, std::uint64_t* offset,
+                     std::size_t* bytes) {
+              const std::uint64_t start = round * cfg.merge_buffer_records;
+              if (start >= run.count) return false;
+              const std::uint64_t n = std::min<std::uint64_t>(
+                  cfg.merge_buffer_records, run.count - start);
+              *offset = (run.offset + start) * rec;
+              *bytes = static_cast<std::size_t>(n * rec);
+              return true;
+            },
+            /*depth=*/1));
+      }
       MapStage vread("read-run", [&](Buffer& b) {
         const auto run_index = static_cast<std::size_t>(b.pipeline());
-        const Run& run = st.runs[run_index];
-        const std::uint64_t rem = run.count - consumed[run_index];
-        const std::uint64_t n =
-            std::min<std::uint64_t>(cfg.merge_buffer_records, rem);
+        const std::size_t n = run_ahead[run_index]->next(b.data());
         if (n == 0) return StageAction::kRecycleAndClose;
-        disk.read(runs_file, (run.offset + consumed[run_index]) * rec,
-                  b.data().first(n * rec));
-        consumed[run_index] += n;
-        b.set_size(n * rec);
+        b.set_size(n);
         return StageAction::kConvey;
       });
 
@@ -458,10 +492,18 @@ SortResult run_dsort(comm::Cluster& cluster, pdm::Workspace& ws,
         }
       });
 
-      MapStage write("write", [&](Buffer& b) {
-        disk.write(out_file, layout.local_byte_offset(b.tag()), b.contents());
-        return StageAction::kConvey;
-      });
+      pdm::WriteBehind write_behind(disk, out_file,
+                                    std::size_t{cfg.block_records} * rec);
+      MapStage write(
+          "write",
+          [&](Buffer& b) {
+            auto slot = write_behind.stage();
+            std::memcpy(slot.data(), b.contents().data(), b.size());
+            write_behind.submit({pdm::WriteBehind::Piece{
+                layout.local_byte_offset(b.tag()), 0, b.size()}});
+            return StageAction::kConvey;
+          },
+          [&](PipelineId) { write_behind.drain(); });
 
       rp.add_stage(receive);
       rp.add_stage(write);

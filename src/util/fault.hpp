@@ -34,6 +34,7 @@ inline constexpr const char* kDiskReadError = "disk.read.error";
 inline constexpr const char* kDiskReadShort = "disk.read.short";
 inline constexpr const char* kDiskWriteError = "disk.write.error";
 inline constexpr const char* kDiskWriteShort = "disk.write.short";
+inline constexpr const char* kDiskFlushError = "disk.flush.error";
 inline constexpr const char* kFabricDelay = "fabric.delay";
 inline constexpr const char* kFabricDrop = "fabric.drop";
 inline constexpr const char* kFabricCrash = "fabric.crash";

@@ -1,0 +1,61 @@
+// Checked integer parsing for everything user-facing: CLI flags,
+// endpoint specs, environment knobs.  The C conversions the tools used
+// to call (std::atoi, raw std::stoul) accept trailing garbage and fold
+// unparseable input to 0, so "--nodes banana" silently became a
+// zero-node cluster.  These helpers require the *whole* string to be a
+// base-10 integer within explicit bounds, and report failures with the
+// name of the thing being parsed.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fg::util {
+
+/// Strict full-string parse: the entire input (no leading/trailing
+/// whitespace, no trailing characters) must be a base-10 integer that
+/// fits the target type.  Returns nullopt otherwise.
+template <typename T>
+std::optional<T> parse_number(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  T value{};
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value, 10);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Full-string signed parse with bounds; throws std::invalid_argument
+/// naming `what` (a flag name like "--nodes") on garbage or a value
+/// outside [min, max].
+inline long long parse_int(std::string_view s, const std::string& what,
+                           long long min, long long max) {
+  const auto v = parse_number<long long>(s);
+  if (!v || *v < min || *v > max) {
+    throw std::invalid_argument(what + ": expected an integer in [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "], got '" +
+                                std::string(s) + "'");
+  }
+  return *v;
+}
+
+/// Full-string unsigned parse with bounds, same contract as parse_int.
+inline std::uint64_t parse_u64(std::string_view s, const std::string& what,
+                               std::uint64_t min = 0,
+                               std::uint64_t max = UINT64_MAX) {
+  const auto v = parse_number<std::uint64_t>(s);
+  if (!v || *v < min || *v > max) {
+    throw std::invalid_argument(what + ": expected an integer in [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "], got '" +
+                                std::string(s) + "'");
+  }
+  return *v;
+}
+
+}  // namespace fg::util

@@ -64,11 +64,27 @@ void arm_transient(fault::Injector& inj) {
   inj.arm(fault::kFabricDelay, fault::Rule::with_probability(0.05));
 }
 
+// Disk-fault chaos runs on both backends: fault injection and retries
+// live in the Disk base class, so the absorb/abort/custody guarantees
+// must hold whether stdio or pread/pwrite sits underneath.
+class ChaosSort : public ::testing::TestWithParam<const char*> {
+ protected:
+  pdm::DiskBackend backend() const {
+    return pdm::parse_disk_backend(GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, ChaosSort,
+                         ::testing::Values("stdio", "native"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
 // -- transient faults are absorbed ------------------------------------------
 
-TEST(ChaosDsort, TransientFaultsAbsorbed) {
+TEST_P(ChaosSort, DsortTransientFaultsAbsorbed) {
   sort::SortConfig cfg = small_sort_config();
-  pdm::Workspace ws(cfg.nodes);
+  pdm::Workspace ws(cfg.nodes, util::LatencyModel::free(), backend());
   comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
 
@@ -93,11 +109,11 @@ TEST(ChaosDsort, TransientFaultsAbsorbed) {
   EXPECT_EQ(rs.exhausted, 0u);
 }
 
-TEST(ChaosCsort, TransientFaultsAbsorbed) {
+TEST_P(ChaosSort, CsortTransientFaultsAbsorbed) {
   sort::SortConfig cfg = small_sort_config();
   cfg.records = sort::csort_compatible_records(cfg.records, cfg.nodes,
                                                cfg.block_records);
-  pdm::Workspace ws(cfg.nodes);
+  pdm::Workspace ws(cfg.nodes, util::LatencyModel::free(), backend());
   comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
 
@@ -120,9 +136,9 @@ TEST(ChaosCsort, TransientFaultsAbsorbed) {
 
 // -- permanent faults abort cleanly -----------------------------------------
 
-TEST(ChaosDsort, PermanentFaultAbortsRun) {
+TEST_P(ChaosSort, DsortPermanentFaultAbortsRun) {
   sort::SortConfig cfg = small_sort_config();
-  pdm::Workspace ws(cfg.nodes);
+  pdm::Workspace ws(cfg.nodes, util::LatencyModel::free(), backend());
   comm::SimCluster cluster(cfg.nodes);
   sort::generate_input(ws, cfg);
 
@@ -141,8 +157,8 @@ TEST(ChaosDsort, PermanentFaultAbortsRun) {
   EXPECT_GT(ws.total_retry_stats().exhausted, 0u);
 }
 
-TEST(Chaos, PermanentDiskFaultPreservesBufferCustody) {
-  pdm::Workspace ws(1);
+TEST_P(ChaosSort, PermanentDiskFaultPreservesBufferCustody) {
+  pdm::Workspace ws(1, util::LatencyModel::free(), backend());
   pdm::Disk& disk = ws.disk(0);
   pdm::File f = disk.create("victim");
   std::vector<std::byte> payload(4096, std::byte{0x5a});

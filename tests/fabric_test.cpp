@@ -687,6 +687,45 @@ INSTANTIATE_TEST_SUITE_P(Backends, FabricConformance,
                            return std::string(i.param);
                          });
 
+// -- TcpFabric-specific: endpoint parsing ------------------------------------
+
+TEST(TcpEndpointTest, ParsesHostAndPort) {
+  const TcpEndpoint e = parse_endpoint("127.0.0.1:31415");
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 31415);
+  EXPECT_EQ(parse_endpoint(":8080").host, "127.0.0.1");  // loopback shorthand
+  EXPECT_EQ(parse_endpoint(":8080").port, 8080);
+  EXPECT_EQ(parse_endpoint("example.com:65535").port, 65535);
+}
+
+// Regression (satellite): the port used to go through a bare std::stoul,
+// so "host:80x" quietly parsed as port 80 and a typo'd peer list
+// connected to the wrong place.  Trailing garbage must be rejected.
+TEST(TcpEndpointTest, TrailingGarbageInPortRejected) {
+  EXPECT_THROW(parse_endpoint("host:80x"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:8 0"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:0x50"), std::invalid_argument);
+}
+
+TEST(TcpEndpointTest, BadPortErrorNamesTheSpec) {
+  try {
+    parse_endpoint("badhost:notaport");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("notaport"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("badhost:notaport"), std::string::npos) << msg;
+  }
+}
+
+TEST(TcpEndpointTest, PortRangeChecked) {
+  EXPECT_THROW(parse_endpoint("host:0"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:65536"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:-1"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("hostonly"), std::invalid_argument);
+}
+
 // -- SimFabric-specific: the latency model ----------------------------------
 
 TEST(SimFabric, ConstructorRejectsZeroNodes) {

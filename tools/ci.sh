@@ -37,8 +37,9 @@ mkdir -p "$obs_dir"
   --trace-out "$obs_dir/trace.json" --stats-json "$obs_dir/stats.json"
 "$root/build-ci-release/tools/fgtrace" --check \
   "$obs_dir/trace.json" "$obs_dir/stats.json"
-"$root/build-ci-release/tools/fgtrace" report --json \
+"$root/build-ci-release/tools/fgtrace" report --json --label disk=stdio \
   "$obs_dir/trace.json" > "$root/BENCH_sort.json"
+grep -q '"disk":"stdio"' "$root/BENCH_sort.json"
 echo "==> wrote BENCH_sort.json (wall time + per-stage occupancy)"
 
 # Multi-process gate: the same dsort, but with every cluster node as its
@@ -72,11 +73,41 @@ grep -q '"verified":true' "$tcp_dir/stats.0.json"
 rm -rf "$tcp_dir"
 echo "==> multi-process TCP dsort ok"
 
+# Native disk backend gate: the same seeded dsort through the stdio and
+# the pread/pwrite backends must produce byte-identical output stripes.
+# The native run is traced, its blobs must pass the structural check,
+# and the report/stats must record which backend produced them (so a
+# BENCH artifact can never silently change substrate).
+echo "==> native disk backend dsort (byte-compare vs stdio)"
+nd_dir="$root/build-ci-release/native-disk-check"
+rm -rf "$nd_dir"
+mkdir -p "$nd_dir"
+"$root/build-ci-release/tools/fgsort" --program dsort --nodes 4 \
+  --records 65536 --latency none --seed 23 --disk stdio \
+  --keep "$nd_dir/stdio" > /dev/null
+"$root/build-ci-release/tools/fgsort" --program dsort --nodes 4 \
+  --records 65536 --latency none --seed 23 --disk native \
+  --keep "$nd_dir/native" \
+  --trace-out "$nd_dir/trace.json" --stats-json "$nd_dir/stats.json" \
+  > /dev/null
+for n in 0 1 2 3; do
+  cmp "$nd_dir/stdio/dsort/node$n/output" "$nd_dir/native/dsort/node$n/output"
+done
+grep -q '"disk":"native"' "$nd_dir/stats.json"
+"$root/build-ci-release/tools/fgtrace" --check \
+  "$nd_dir/trace.json" "$nd_dir/stats.json"
+"$root/build-ci-release/tools/fgtrace" report --json --label disk=native \
+  "$nd_dir/trace.json" > "$nd_dir/report.json"
+grep -q '"disk":"native"' "$nd_dir/report.json"
+rm -rf "$nd_dir"
+echo "==> native disk backend ok"
+
 # Chaos soak: replay the fault-injection suite under TSan with ten
 # distinct seeds.  Injection schedules are a pure function of the seed,
 # so each iteration exercises a different (but reproducible) failure
-# pattern; a seed that breaks here reproduces locally with
-# FG_CHAOS_SEED=<seed> build-ci-tsan/tests/chaos_test.
+# pattern; the disk-fault tests are parameterized over both backends, so
+# every seed soaks stdio and native alike.  A seed that breaks here
+# reproduces locally with FG_CHAOS_SEED=<seed> build-ci-tsan/tests/chaos_test.
 echo "==> chaos soak (tsan, 10 seeds)"
 for seed in 1 2 3 5 8 13 21 34 55 89; do
   echo "==> chaos seed $seed"

@@ -19,6 +19,8 @@
 // the driver both the CI gate and the multi-process tests go through —
 // it is deliberately dumb: no restart, no rank placement, just fork,
 // watch, reap.
+#include "util/parse.hpp"
+
 #include <sys/types.h>
 #include <sys/wait.h>
 
@@ -67,18 +69,25 @@ int main(int argc, char** argv) {
   int timeout_secs = 600;
   std::string host = "127.0.0.1";
   int cmd_start = -1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto need = [&](int& j) -> std::string {
-      if (j + 1 >= argc) usage();
-      return argv[++j];
-    };
-    if (a == "--nodes") nodes = std::atoi(need(i).c_str());
-    else if (a == "--base-port") base_port = std::atoi(need(i).c_str());
-    else if (a == "--host") host = need(i);
-    else if (a == "--timeout-secs") timeout_secs = std::atoi(need(i).c_str());
-    else if (a == "--") { cmd_start = i + 1; break; }
-    else usage();
+  // Checked parsing: garbage like "--nodes banana" exits with the flag
+  // named, rather than atoi silently folding it to 0.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto need = [&](int& j) -> std::string {
+        if (j + 1 >= argc) usage();
+        return argv[++j];
+      };
+      if (a == "--nodes") nodes = static_cast<int>(fg::util::parse_int(need(i), "--nodes", 1, 512));
+      else if (a == "--base-port") base_port = static_cast<int>(fg::util::parse_int(need(i), "--base-port", 1, 65535));
+      else if (a == "--host") host = need(i);
+      else if (a == "--timeout-secs") timeout_secs = static_cast<int>(fg::util::parse_int(need(i), "--timeout-secs", 1, 86400));
+      else if (a == "--") { cmd_start = i + 1; break; }
+      else usage();
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "fgnode: %s\n", e.what());
+    return 2;
   }
   if (nodes < 1 || nodes > 512 || cmd_start < 0 || cmd_start >= argc) usage();
   if (base_port < 1 || base_port + nodes - 1 > 65535) {

@@ -14,6 +14,7 @@
 // rather than silently producing an unreadable timeline.
 #include "obs/analyze.hpp"
 #include "util/json.hpp"
+#include "util/parse.hpp"
 #include "util/trace.hpp"
 
 #include <cstdio>
@@ -36,10 +37,11 @@ std::string slurp(const std::string& path) {
 int usage() {
   std::cerr <<
       "usage: fgtrace --check FILE [FILE...]\n"
-      "       fgtrace report [--json] [--top N] FILE\n"
+      "       fgtrace report [--json] [--top N] [--label K=V ...] FILE\n"
       "       fgtrace FILE\n"
       "FILE is a Chrome-trace blob (fgsort --trace-out) or a --stats-json\n"
-      "blob; the format is auto-detected.\n";
+      "blob; the format is auto-detected.  --label attaches K=V pairs to\n"
+      "the JSON report (e.g. which disk backend produced the run).\n";
   return 2;
 }
 
@@ -66,7 +68,8 @@ int run_check(const std::vector<std::string>& files) {
   return ok ? 0 : 1;
 }
 
-int run_report(const std::string& path, bool json, std::size_t top_n) {
+int run_report(const std::string& path, bool json, std::size_t top_n,
+               const std::vector<std::pair<std::string, std::string>>& labels) {
   const fg::util::Json doc = fg::util::Json::parse(slurp(path));
   std::vector<fg::obs::OverlapReport> reports;
   if (fg::obs::is_chrome_trace(doc)) {
@@ -87,6 +90,12 @@ int run_report(const std::string& path, bool json, std::size_t top_n) {
   if (json) {
     fg::util::JsonWriter w;
     w.begin_object();
+    if (!labels.empty()) {
+      w.key("labels");
+      w.begin_object();
+      for (const auto& [k, v] : labels) w.kv(k, v);
+      w.end_object();
+    }
     w.key("reports");
     w.begin_array();
     for (const auto& r : reports) fg::obs::write_report_json(w, r);
@@ -111,13 +120,24 @@ int main(int argc, char** argv) {
     bool json = false;
     std::size_t top_n = 5;
     std::string file;
+    std::vector<std::pair<std::string, std::string>> labels;
     std::size_t i = 0;
     if (args[0] == "report") ++i;
     for (; i < args.size(); ++i) {
       if (args[i] == "--json") {
         json = true;
       } else if (args[i] == "--top" && i + 1 < args.size()) {
-        top_n = static_cast<std::size_t>(std::stoul(args[++i]));
+        top_n = static_cast<std::size_t>(
+            fg::util::parse_u64(args[++i], "--top", 1, 1000));
+      } else if (args[i] == "--label" && i + 1 < args.size()) {
+        const std::string kv = args[++i];
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          std::cerr << "fgtrace: --label expects KEY=VALUE, got '" << kv
+                    << "'\n";
+          return 2;
+        }
+        labels.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
       } else if (!args[i].empty() && args[i][0] == '-') {
         return usage();
       } else if (file.empty()) {
@@ -127,7 +147,7 @@ int main(int argc, char** argv) {
       }
     }
     if (file.empty()) return usage();
-    return run_report(file, json, top_n);
+    return run_report(file, json, top_n, labels);
   } catch (const std::exception& e) {
     std::cerr << "fgtrace: " << e.what() << "\n";
     return 1;
