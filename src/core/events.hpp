@@ -17,6 +17,7 @@
 #include "util/trace.hpp"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fg {
@@ -76,6 +77,8 @@ struct RunStats {
   std::vector<QueueStats> queues;
   double wall_seconds{0.0};
   std::size_t runs_completed{0};  ///< how many times the graph has run
+  /// Executor backend of the most recent run ("threads" or "tasks").
+  std::string executor;
 
   // Fault/recovery counters.  The runtime itself does not fill these —
   // the driver that owns the disks and the fault injector aggregates them

@@ -1,0 +1,96 @@
+// The executor layer: how planned workers become running code.
+//
+// GraphRuntime owns the run's *state* — channels, buffer pools, stats,
+// the stall watchdog, abort propagation — and delegates the *worker
+// lifecycle* to an Executor.  Two backends exist:
+//
+//  * ThreadPerStageExecutor (executor_threads.cpp) — the reference
+//    backend and FG's historical model: one OS thread per planned worker
+//    (plus replicas), each running a blocking accept/convey loop.  Simple
+//    and fair, but a graph with hundreds of pipelines oversubscribes the
+//    machine.
+//
+//  * TaskExecutor (task_executor.cpp) — stage bodies run as resumable
+//    tasks on a fixed pool of N workers with Chase–Lev work-stealing
+//    deques.  A stage whose accept or convey would block is re-enqueued
+//    when the channel drains instead of sleeping a dedicated thread, so
+//    thousands of pipelines share N cores.  Custom stages keep their
+//    blocking StageContext contract and therefore still get a dedicated
+//    thread each; sources, sinks, map and replicated-map stages are
+//    scheduled as tasks.
+//
+// Selection: RuntimeOptions on the graph/runtime, overridable from the
+// environment (FG_EXECUTOR=threads|tasks, FG_TASK_WORKERS=N,
+// FG_CHANNELS=auto|mpmc) so a whole test suite can be replayed under
+// either backend without touching code — tools/ci.sh does exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace fg {
+
+class GraphRuntime;
+
+/// Which worker-lifecycle backend a run uses.  kAuto resolves from the
+/// FG_EXECUTOR environment variable (default: thread-per-stage).
+enum class ExecutorKind : std::uint8_t { kAuto, kThreadPerStage, kTasks };
+
+/// Channel selection policy.  kAuto lets the plan's analysis pick the
+/// wait-free SPSC ring where it proved eligibility; kMpmcOnly forces the
+/// blocking MPMC queue everywhere (the conformance/ablation setting).
+/// kAuto also honours FG_CHANNELS=mpmc from the environment.
+enum class ChannelPolicy : std::uint8_t { kAuto, kMpmcOnly };
+
+/// Per-run execution options, set on PipelineGraph before run().
+struct RuntimeOptions {
+  ExecutorKind executor{ExecutorKind::kAuto};
+  /// Task-pool width; 0 = FG_TASK_WORKERS or hardware_concurrency().
+  /// Ignored by the thread-per-stage backend.
+  std::size_t task_workers{0};
+  ChannelPolicy channels{ChannelPolicy::kAuto};
+  /// Emit per-worker `task-slice` spans from the task pool into extra
+  /// `tasks:wN` trace tracks (one per pool worker).  Off by default so
+  /// the default trace layout is identical under both executors; also
+  /// enabled by FG_TASK_SPANS=1.  Ignored by the thread backend.
+  bool task_spans{false};
+};
+
+/// Resolve kAuto against the environment (FG_EXECUTOR).
+ExecutorKind resolve_executor(ExecutorKind k) noexcept;
+/// Resolve kAuto against the environment (FG_CHANNELS).
+ChannelPolicy resolve_channels(ChannelPolicy p) noexcept;
+/// Resolve a zero worker count against FG_TASK_WORKERS, then hardware
+/// concurrency (minimum 2).
+std::size_t resolve_task_workers(std::size_t n) noexcept;
+/// Resolve the task-span opt-in against the environment (FG_TASK_SPANS).
+bool resolve_task_spans(bool enabled) noexcept;
+
+const char* to_string(ExecutorKind k) noexcept;
+
+/// Worker-lifecycle backend.  An executor is single-use, created by
+/// GraphRuntime::run() after the watchdog is armed; execute() returns
+/// only when every worker has finished (threads joined, tasks drained).
+/// Errors are recorded on the runtime (record_error + abort_all), which
+/// rethrows after execute() returns.
+class Executor {
+ public:
+  virtual ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  virtual void execute() = 0;
+  virtual const char* name() const noexcept = 0;
+
+ protected:
+  explicit Executor(GraphRuntime& rt) : rt_(rt) {}
+  GraphRuntime& rt_;
+};
+
+std::unique_ptr<Executor> make_thread_per_stage_executor(GraphRuntime& rt);
+std::unique_ptr<Executor> make_task_executor(GraphRuntime& rt,
+                                             std::size_t workers);
+
+}  // namespace fg

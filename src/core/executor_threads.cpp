@@ -1,0 +1,86 @@
+// The reference executor backend: one OS thread per planned worker (plus
+// replicas), each running the blocking loops from runtime_loops.cpp.
+// Also home to the executor option resolution (environment overrides).
+#include "core/runtime_impl.hpp"
+#include "util/parse.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace fg {
+
+Executor::~Executor() = default;
+
+const char* to_string(ExecutorKind k) noexcept {
+  switch (k) {
+    case ExecutorKind::kAuto: return "auto";
+    case ExecutorKind::kThreadPerStage: return "threads";
+    case ExecutorKind::kTasks: return "tasks";
+  }
+  return "?";
+}
+
+ExecutorKind resolve_executor(ExecutorKind k) noexcept {
+  if (k != ExecutorKind::kAuto) return k;
+  const char* env = std::getenv("FG_EXECUTOR");
+  if (env != nullptr && std::string(env) == "tasks") return ExecutorKind::kTasks;
+  return ExecutorKind::kThreadPerStage;
+}
+
+ChannelPolicy resolve_channels(ChannelPolicy p) noexcept {
+  if (p != ChannelPolicy::kAuto) return p;
+  const char* env = std::getenv("FG_CHANNELS");
+  if (env != nullptr && std::string(env) == "mpmc")
+    return ChannelPolicy::kMpmcOnly;
+  return ChannelPolicy::kAuto;
+}
+
+std::size_t resolve_task_workers(std::size_t n) noexcept {
+  if (n != 0) return n;
+  if (const char* env = std::getenv("FG_TASK_WORKERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 2 ? hw : 2;
+}
+
+bool resolve_task_spans(bool enabled) noexcept {
+  if (enabled) return true;
+  const char* env = std::getenv("FG_TASK_SPANS");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+/// FG's historical execution model: spawn every worker thread, run the
+/// blocking loops, join.  Kept as the conformance reference the task
+/// backend is validated against.
+class ThreadPerStageExecutor final : public Executor {
+ public:
+  explicit ThreadPerStageExecutor(GraphRuntime& rt) : Executor(rt) {}
+
+  void execute() override {
+    for (auto& w : rt_.workers_) {
+      GraphRuntime::RunWorker* raw = w.get();
+      GraphRuntime* rt = &rt_;
+      w->thread = std::thread([rt, raw] { rt->worker_entry(raw); });
+      for (std::size_t i = 1; i < w->spec->replicas; ++i) {
+        w->extra_threads.emplace_back([rt, raw] { rt->worker_entry(raw); });
+      }
+    }
+    for (auto& w : rt_.workers_) {
+      if (w->thread.joinable()) w->thread.join();
+      for (auto& t : w->extra_threads) {
+        if (t.joinable()) t.join();
+      }
+    }
+  }
+
+  const char* name() const noexcept override { return "threads"; }
+};
+
+std::unique_ptr<Executor> make_thread_per_stage_executor(GraphRuntime& rt) {
+  return std::make_unique<ThreadPerStageExecutor>(rt);
+}
+
+}  // namespace fg

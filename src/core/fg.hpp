@@ -15,7 +15,9 @@
 #pragma once
 
 #include "core/buffer.hpp"     // IWYU pragma: export
+#include "core/channel.hpp"    // IWYU pragma: export
 #include "core/events.hpp"     // IWYU pragma: export
+#include "core/executor.hpp"   // IWYU pragma: export
 #include "core/graph.hpp"      // IWYU pragma: export
 #include "core/pipeline.hpp"   // IWYU pragma: export
 #include "core/plan.hpp"       // IWYU pragma: export

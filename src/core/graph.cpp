@@ -18,6 +18,7 @@ struct PipelineGraph::Impl {
   std::size_t runs_completed{0};
   util::Duration watchdog_window{util::Duration::zero()};
   std::function<void()> abort_hook;
+  RuntimeOptions options;
 
   ExecutionPlan& ensure_plan() {
     if (!plan) plan = std::make_unique<ExecutionPlan>(pipelines);
@@ -59,6 +60,10 @@ void PipelineGraph::set_watchdog(util::Duration window) {
   impl_->watchdog_window = window;
 }
 
+void PipelineGraph::set_runtime_options(RuntimeOptions options) {
+  impl_->options = options;
+}
+
 void PipelineGraph::set_abort_hook(std::function<void()> hook) {
   impl_->abort_hook = std::move(hook);
 }
@@ -68,7 +73,7 @@ void PipelineGraph::run() {
   // Fresh queues, pools, and statistics every run; replacing the previous
   // runtime is what resets stats between runs.
   impl_->last = std::make_unique<GraphRuntime>(plan, impl_->sink,
-                                               impl_->obs);
+                                               impl_->obs, impl_->options);
   impl_->last->set_watchdog(impl_->watchdog_window);
   if (impl_->abort_hook) impl_->last->set_abort_hook(impl_->abort_hook);
   impl_->last->run();  // on throw, `last` keeps the partial stats
@@ -85,6 +90,7 @@ RunStats PipelineGraph::run_stats() const {
     out.stages = impl_->last->stats();
     out.queues = impl_->last->queue_stats();
     out.wall_seconds = impl_->last->wall_seconds();
+    out.executor = impl_->last->executor_name();
   }
   out.runs_completed = impl_->runs_completed;
   return out;

@@ -91,6 +91,14 @@ class PipelineGraph {
   /// share one session.
   void set_observability(obs::Session* session);
 
+  /// Pick the execution backend for subsequent runs: thread-per-stage or
+  /// the work-stealing task pool, and the channel policy (kMpmcOnly
+  /// forces the blocking MPMC queue even where the plan proved SPSC
+  /// eligibility).  Defaults resolve from the environment (FG_EXECUTOR,
+  /// FG_TASK_WORKERS, FG_CHANNELS) so whole suites can be replayed under
+  /// either backend without code changes.
+  void set_runtime_options(RuntimeOptions options);
+
   /// Arm a stall watchdog on subsequent runs: if no worker completes a
   /// queue operation for `window`, the run aborts with PipelineStalled
   /// (naming each blocked worker and its queue) instead of deadlocking.

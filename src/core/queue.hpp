@@ -1,19 +1,13 @@
-// The bounded blocking queue FG places between consecutive pipeline
-// stages.  A stage conveys a buffer by pushing into the queue to its
-// successor and accepts by popping the queue from its predecessor; an
-// empty-queue pop blocks, which is what makes a stage's thread yield so
-// other stages can overlap work with high-latency operations.
-//
-// Queues carry *tokens*, not raw buffers, because the termination
-// protocol needs two control messages besides data:
-//   * caboose — "no more buffers will follow on this pipeline"; it is the
-//     last token a pipeline sends through each queue and flushes the
-//     stages downstream.
-//   * close   — sent *backwards* into a source's recycle queue by a stage
-//     that has determined its pipeline is done (e.g. a read stage at EOF).
+// The MPMC blocking channel implementation — the reference BufferQueue
+// FG has always placed between consecutive pipeline stages.  The token
+// semantics, the Channel interface, and the wait-free SPSC alternative
+// live in core/channel.hpp; this header keeps its historical name (and
+// the BufferQueue type) because it is the implementation legal for any
+// topology: multiple producers, multiple consumers, replicas, recycle
+// queues receiving pushes from every stage of a pipeline.
 #pragma once
 
-#include "core/buffer.hpp"
+#include "core/channel.hpp"
 
 #include <condition_variable>
 #include <cstdint>
@@ -22,54 +16,15 @@
 
 namespace fg {
 
-/// What a token means.  kAbort is injected by the graph when a stage
-/// throws, so that every blocked worker wakes up and unwinds instead of
-/// hanging.
-enum class TokenKind : std::uint8_t { kBuffer, kCaboose, kClose, kAbort };
-
-/// One queue element: a kind, the pipeline it concerns, and (for kBuffer)
-/// the buffer itself.
-struct Token {
-  TokenKind kind{TokenKind::kAbort};
-  PipelineId pipeline{kNoPipeline};
-  Buffer* buffer{nullptr};
-
-  static Token of_buffer(Buffer* b) noexcept {
-    return {TokenKind::kBuffer, b->pipeline(), b};
-  }
-  static Token caboose(PipelineId p) noexcept {
-    return {TokenKind::kCaboose, p, nullptr};
-  }
-  static Token close(PipelineId p) noexcept {
-    return {TokenKind::kClose, p, nullptr};
-  }
-  static Token abort() noexcept { return {TokenKind::kAbort, kNoPipeline, nullptr}; }
-};
-
-/// Counters one queue accumulates over a run; snapshot via
-/// BufferQueue::stats().  The instrumentation layer folds these into the
-/// per-run JSON blob.
-struct QueueStats {
-  std::size_t capacity{0};      ///< 0 = unbounded
-  std::uint64_t pushes{0};      ///< tokens accepted (post-abort pushes excluded)
-  std::uint64_t pops{0};        ///< tokens delivered
-  std::size_t peak{0};          ///< high-water occupancy
-  /// Tokens parked via force_push during teardown.  Kept out of `pushes`
-  /// so the pushes/pops reconciliation stays meaningful: residents ==
-  /// pushes + forced - pops.
-  std::uint64_t forced{0};
-};
-
 /// MPMC blocking token queue.  capacity == 0 means unbounded (the default:
 /// pipeline buffer pools already bound the number of circulating tokens);
 /// a nonzero capacity additionally throttles how far ahead a producer may
 /// run, which the ablation benches use.
-class BufferQueue {
+class BufferQueue final : public Channel {
  public:
   explicit BufferQueue(std::size_t capacity = 0) : capacity_(capacity) {}
 
-  BufferQueue(const BufferQueue&) = delete;
-  BufferQueue& operator=(const BufferQueue&) = delete;
+  ChannelKind kind() const noexcept override { return ChannelKind::kMpmc; }
 
   /// Blocking push.  Returns false — with the token *dropped* — once the
   /// queue has been aborted; a worker whose push fails must stop
@@ -79,7 +34,7 @@ class BufferQueue {
   /// `depth_after`, when non-null, receives the occupancy right after
   /// the operation — observed under the lock we already hold, so the
   /// tracing layer's depth samples cost no extra acquisition.
-  bool push(Token t, std::size_t* depth_after = nullptr) {
+  bool push(Token t, std::size_t* depth_after = nullptr) override {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] {
       return aborted_ || capacity_ == 0 || q_.size() < capacity_;
@@ -94,8 +49,22 @@ class BufferQueue {
     return true;
   }
 
+  /// Non-blocking push: kFull instead of sleeping when at capacity.
+  PushResult try_push(Token t, std::size_t* depth_after = nullptr) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) return PushResult::kAborted;
+    if (capacity_ != 0 && q_.size() >= capacity_) return PushResult::kFull;
+    q_.push_back(t);
+    ++pushes_;
+    if (q_.size() > peak_) peak_ = q_.size();
+    if (depth_after != nullptr) *depth_after = q_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
   /// Blocking pop; returns an abort token once the queue is aborted.
-  Token pop(std::size_t* depth_after = nullptr) {
+  Token pop(std::size_t* depth_after = nullptr) override {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return aborted_ || !q_.empty(); });
     if (aborted_) return Token::abort();
@@ -104,12 +73,14 @@ class BufferQueue {
     ++pops_;
     if (depth_after != nullptr) *depth_after = q_.size();
     lock.unlock();
-    not_full_.notify_one();
+    // An unbounded queue never has push-side waiters — skip the wasted
+    // notify on the hot path (bench_buffers measures the win).
+    if (capacity_ != 0) not_full_.notify_one();
     return t;
   }
 
   /// Non-blocking pop; false if empty (or an abort token if aborted).
-  bool try_pop(Token& out) {
+  bool try_pop(Token& out) override {
     std::unique_lock<std::mutex> lock(mutex_);
     if (aborted_) {
       out = Token::abort();
@@ -123,7 +94,7 @@ class BufferQueue {
     q_.pop_front();
     ++pops_;
     lock.unlock();
-    not_full_.notify_one();
+    if (capacity_ != 0) not_full_.notify_one();
     return true;
   }
 
@@ -132,7 +103,7 @@ class BufferQueue {
   /// buffers somewhere accountable after a regular push was refused.
   /// Counted in QueueStats::forced, not QueueStats::pushes, which by
   /// contract excludes post-abort pushes.
-  void force_push(Token t) {
+  void force_push(Token t) override {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       q_.push_back(t);
@@ -145,15 +116,15 @@ class BufferQueue {
   /// Visit every resident token (diagnostics; works even after abort,
   /// which leaves residents in place).  `fn` runs under the queue lock —
   /// keep it trivial.
-  template <typename Fn>
-  void for_each_resident(Fn&& fn) const {
+  void for_each_resident(
+      const std::function<void(const Token&)>& fn) const override {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const Token& t : q_) fn(t);
   }
 
   /// Wake every waiter and make all subsequent operations no-ops that
   /// report abortion.  Used only for error unwinding.
-  void abort() {
+  void abort() override {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       aborted_ = true;
@@ -162,29 +133,30 @@ class BufferQueue {
     not_full_.notify_all();
   }
 
-  bool aborted() const {
+  bool aborted() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return aborted_;
   }
 
-  std::size_t size() const {
+  std::size_t size() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return q_.size();
   }
 
   /// Highest occupancy ever observed (for diagnostics/benches).
-  std::size_t peak() const {
+  std::size_t peak() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return peak_;
   }
 
   /// Snapshot of this queue's counters.
-  QueueStats stats() const {
+  QueueStats stats() const override {
     std::lock_guard<std::mutex> lock(mutex_);
-    return QueueStats{capacity_, pushes_, pops_, peak_, forced_};
+    return QueueStats{capacity_, pushes_, pops_, peak_, forced_,
+                      ChannelKind::kMpmc};
   }
 
-  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity() const noexcept override { return capacity_; }
 
  private:
   mutable std::mutex mutex_;

@@ -21,17 +21,36 @@ const char* to_string(StageEventKind k) noexcept {
   return "?";
 }
 
+const char* to_string(ChannelKind k) noexcept {
+  switch (k) {
+    case ChannelKind::kMpmc: return "mpmc";
+    case ChannelKind::kSpsc: return "spsc";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // Construction: materialize queues, pools, and workers from the plan
 // ---------------------------------------------------------------------------
 
 GraphRuntime::GraphRuntime(const ExecutionPlan& plan, EventSink* sink,
-                           obs::Session* obs)
-    : plan_(&plan), sink_(sink) {
+                           obs::Session* obs, RuntimeOptions options)
+    : plan_(&plan), sink_(sink), obs_(obs) {
+  executor_kind_ = resolve_executor(options.executor);
+  executor_name_ = to_string(executor_kind_);
+  task_workers_ = resolve_task_workers(options.task_workers);
+  task_spans_ = resolve_task_spans(options.task_spans);
+  const ChannelPolicy channels = resolve_channels(options.channels);
+
   queues_.reserve(plan.queues().size());
   for (std::uint32_t qi = 0; qi < plan.queues().size(); ++qi) {
-    queues_.push_back(
-        std::make_unique<BufferQueue>(plan.queues()[qi].capacity));
+    const PlannedQueue& pq = plan.queues()[qi];
+    if (pq.kind == ChannelKind::kSpsc && channels == ChannelPolicy::kAuto) {
+      queues_.push_back(
+          std::make_unique<SpscChannel>(pq.spsc_bound, pq.capacity));
+    } else {
+      queues_.push_back(std::make_unique<BufferQueue>(pq.capacity));
+    }
     queue_index_[queues_.back().get()] = qi;
   }
 
@@ -102,9 +121,12 @@ void GraphRuntime::record_error(std::exception_ptr e) {
 
 void GraphRuntime::abort_all() {
   for (auto& q : queues_) q->abort();
+  // Parked tasks are not blocked in any channel op; the task executor
+  // must wake them so they observe the abort tokens and unwind.
+  if (notifier_ != nullptr) notifier_->on_abort();
 }
 
-void GraphRuntime::emit_queue(StageEventKind kind, const BufferQueue* q,
+void GraphRuntime::emit_queue(StageEventKind kind, const Channel* q,
                               PipelineId pid) {
   if (!sink_) return;
   sink_->on_event(StageEvent{kind, queue_index_.at(q), pid, q->size()});
@@ -114,7 +136,7 @@ void GraphRuntime::emit_queue(StageEventKind kind, const BufferQueue* q,
 // Traced queue operations and the stall watchdog
 // ---------------------------------------------------------------------------
 
-Token GraphRuntime::traced_pop(RunWorker& w, BufferQueue* q) {
+Token GraphRuntime::traced_pop(RunWorker& w, Channel* q) {
   const std::uint32_t qi = queue_index_.at(q);
   w.blocked_queue.store(qi, std::memory_order_relaxed);
   w.blocked_push.store(false, std::memory_order_relaxed);
@@ -124,6 +146,8 @@ Token GraphRuntime::traced_pop(RunWorker& w, BufferQueue* q) {
   Token t = q->pop(sample ? &depth : nullptr);
   w.blocked_queue.store(kNoQueue, std::memory_order_relaxed);
   progress_.fetch_add(1, std::memory_order_relaxed);
+  if (t.kind != TokenKind::kAbort && notifier_ != nullptr)
+    notifier_->on_pop(qi);
   if (sample && t.kind != TokenKind::kAbort) {
     if (!queue_gauges_.empty())
       queue_gauges_[qi]->set(static_cast<std::int64_t>(depth));
@@ -133,7 +157,7 @@ Token GraphRuntime::traced_pop(RunWorker& w, BufferQueue* q) {
   return t;
 }
 
-bool GraphRuntime::traced_push(RunWorker& w, BufferQueue* q, Token t) {
+bool GraphRuntime::traced_push(RunWorker& w, Channel* q, Token t) {
   const std::uint32_t qi = queue_index_.at(q);
   w.blocked_queue.store(qi, std::memory_order_relaxed);
   w.blocked_push.store(true, std::memory_order_relaxed);
@@ -143,6 +167,7 @@ bool GraphRuntime::traced_push(RunWorker& w, BufferQueue* q, Token t) {
   const bool ok = q->push(t, sample ? &depth : nullptr);
   w.blocked_queue.store(kNoQueue, std::memory_order_relaxed);
   progress_.fetch_add(1, std::memory_order_relaxed);
+  if (ok && notifier_ != nullptr) notifier_->on_push(qi);
   if (sample && ok) {
     if (!queue_gauges_.empty())
       queue_gauges_[qi]->set(static_cast<std::int64_t>(depth));
@@ -150,6 +175,44 @@ bool GraphRuntime::traced_push(RunWorker& w, BufferQueue* q, Token t) {
       ring->sample(obs::SpanKind::kQueueDepth, qi, depth, util::Clock::now());
   }
   return ok;
+}
+
+bool GraphRuntime::traced_try_pop(RunWorker& w, Channel* q, Token& out) {
+  (void)w;  // blocked-queue diagnostics are published by the yield path
+  if (!q->try_pop(out)) return false;
+  const std::uint32_t qi = queue_index_.at(q);
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  if (out.kind != TokenKind::kAbort && notifier_ != nullptr)
+    notifier_->on_pop(qi);
+  if (out.kind != TokenKind::kAbort) {
+    obs::SpanRing* const ring = obs::current_ring();
+    if (!queue_gauges_.empty())
+      queue_gauges_[qi]->set(static_cast<std::int64_t>(q->size()));
+    if (ring != nullptr) {
+      ring->sample(obs::SpanKind::kQueueDepth, qi, q->size(),
+                   util::Clock::now());
+    }
+  }
+  return true;
+}
+
+PushResult GraphRuntime::traced_try_push(RunWorker& w, Channel* q, Token t) {
+  (void)w;  // blocked-queue diagnostics are published by the yield path
+  const std::uint32_t qi = queue_index_.at(q);
+  obs::SpanRing* const ring = obs::current_ring();
+  std::size_t depth = 0;
+  const bool sample = ring != nullptr || !queue_gauges_.empty();
+  const PushResult r = q->try_push(t, sample ? &depth : nullptr);
+  if (r != PushResult::kAccepted) return r;
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  if (notifier_ != nullptr) notifier_->on_push(qi);
+  if (sample) {
+    if (!queue_gauges_.empty())
+      queue_gauges_[qi]->set(static_cast<std::int64_t>(depth));
+    if (ring != nullptr)
+      ring->sample(obs::SpanKind::kQueueDepth, qi, depth, util::Clock::now());
+  }
+  return r;
 }
 
 std::string GraphRuntime::stall_report() const {
@@ -262,22 +325,14 @@ void GraphRuntime::run() {
   }
   ran_ = true;
   util::Stopwatch sw;
-  for (auto& w : workers_) {
-    RunWorker* raw = w.get();
-    w->thread = std::thread([this, raw] { worker_entry(raw); });
-    for (std::size_t i = 1; i < w->spec->replicas; ++i) {
-      w->extra_threads.emplace_back([this, raw] { worker_entry(raw); });
-    }
-  }
+  std::unique_ptr<Executor> executor =
+      executor_kind_ == ExecutorKind::kTasks
+          ? make_task_executor(*this, task_workers_)
+          : make_thread_per_stage_executor(*this);
   if (watchdog_window_ > util::Duration::zero()) {
     watchdog_thread_ = std::thread([this] { watchdog_loop(); });
   }
-  for (auto& w : workers_) {
-    if (w->thread.joinable()) w->thread.join();
-    for (auto& t : w->extra_threads) {
-      if (t.joinable()) t.join();
-    }
-  }
+  executor->execute();
   if (watchdog_thread_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(wd_mutex_);
@@ -352,6 +407,7 @@ void RunStats::write_json(util::JsonWriter& w) const {
   w.begin_object();
   w.kv("wall_seconds", wall_seconds);
   w.kv("runs_completed", runs_completed);
+  w.kv("executor", executor.empty() ? "threads" : executor);
   w.key("stages");
   write_stage_stats_json(w, stages);
   w.key("queues");
@@ -360,6 +416,7 @@ void RunStats::write_json(util::JsonWriter& w) const {
     const QueueStats& q = queues[i];
     w.begin_object();
     w.kv("index", i);
+    w.kv("kind", to_string(q.kind));
     w.kv("capacity", q.capacity);
     w.kv("pushes", q.pushes);
     w.kv("pops", q.pops);

@@ -22,6 +22,7 @@
 #pragma once
 
 #include "core/events.hpp"
+#include "core/executor.hpp"
 #include "core/plan.hpp"
 #include "core/queue.hpp"
 #include "core/stage_stats.hpp"
@@ -74,13 +75,29 @@ struct BufferAudit {
   }
 };
 
+/// Hook the task executor installs so that queue traffic produced by
+/// threads it does not schedule (custom-stage threads, teardown parking)
+/// still wakes the tasks waiting on the affected channel.  Null under the
+/// thread-per-stage backend — the channels' own blocking does the waking.
+class QueueNotifier {
+ public:
+  virtual ~QueueNotifier() = default;
+  virtual void on_push(std::uint32_t qi) = 0;
+  virtual void on_pop(std::uint32_t qi) = 0;
+  /// The run is being torn down: every parked task must wake and observe
+  /// the channel abort.
+  virtual void on_abort() = 0;
+};
+
 class GraphRuntime {
  public:
-  /// Materialize queues and pools for `plan`.  The plan must outlive the
-  /// runtime; `sink` and `obs` may be null.  With a session attached the
-  /// run contributes spans and metrics to it (see class comment).
+  /// Materialize channels and pools for `plan`.  The plan must outlive
+  /// the runtime; `sink` and `obs` may be null.  With a session attached
+  /// the run contributes spans and metrics to it (see class comment).
+  /// `options` picks the executor backend and channel policy (kAuto
+  /// resolves from the environment).
   GraphRuntime(const ExecutionPlan& plan, EventSink* sink,
-               obs::Session* obs = nullptr);
+               obs::Session* obs = nullptr, RuntimeOptions options = {});
   ~GraphRuntime();
 
   GraphRuntime(const GraphRuntime&) = delete;
@@ -118,9 +135,16 @@ class GraphRuntime {
 
   double wall_seconds() const noexcept { return wall_seconds_; }
 
+  /// Name of the executor backend this runtime resolved to ("threads" or
+  /// "tasks"); fixed at construction.
+  const char* executor_name() const noexcept { return executor_name_; }
+
  private:
   struct RunWorker;
   class Context;
+  friend class Executor;
+  friend class ThreadPerStageExecutor;
+  friend class TaskExecutor;
 
   void worker_entry(RunWorker* w);
   void source_loop(RunWorker& w);
@@ -129,7 +153,7 @@ class GraphRuntime {
   void map_loop_replicated(RunWorker& w);
   void custom_loop(RunWorker& w);
 
-  BufferQueue* source_in(PipelineId pid) const {
+  Channel* source_in(PipelineId pid) const {
     return queues_[plan_->source_in(pid)].get();
   }
   void record_error(std::exception_ptr e);
@@ -137,10 +161,16 @@ class GraphRuntime {
   void park_token(RunWorker& w, Token t);
 
   /// Queue ops routed through these wrappers publish which queue the
-  /// worker is blocked on (for the stall report) and bump the progress
-  /// counter the watchdog monitors.
-  Token traced_pop(RunWorker& w, BufferQueue* q);
-  bool traced_push(RunWorker& w, BufferQueue* q, Token t);
+  /// worker is blocked on (for the stall report), bump the progress
+  /// counter the watchdog monitors, and (non-blocking variants included)
+  /// feed the task executor's wakeup hook.
+  Token traced_pop(RunWorker& w, Channel* q);
+  bool traced_push(RunWorker& w, Channel* q, Token t);
+  /// Non-blocking variants for the task executor: identical tracing and
+  /// accounting, but kFull/empty yields back to the scheduler instead of
+  /// sleeping the thread.
+  bool traced_try_pop(RunWorker& w, Channel* q, Token& out);
+  PushResult traced_try_push(RunWorker& w, Channel* q, Token t);
   void watchdog_loop();
   std::string stall_report() const;
 
@@ -150,10 +180,18 @@ class GraphRuntime {
   }
   /// Occupancy sample after a queue operation; only taken when a sink is
   /// installed (costs one extra lock).
-  void emit_queue(StageEventKind kind, const BufferQueue* q, PipelineId pid);
+  void emit_queue(StageEventKind kind, const Channel* q, PipelineId pid);
 
   const ExecutionPlan* plan_;
   EventSink* sink_;
+  obs::Session* obs_{nullptr};
+
+  // Resolved execution options (kAuto already applied).
+  ExecutorKind executor_kind_{ExecutorKind::kThreadPerStage};
+  std::size_t task_workers_{0};
+  bool task_spans_{false};
+  const char* executor_name_{"threads"};
+  QueueNotifier* notifier_{nullptr};  ///< installed by the task executor
 
   // Observability handles, resolved once at construction (the registry
   // lookup takes a mutex; the hot paths below only dereference).  All
@@ -163,10 +201,10 @@ class GraphRuntime {
   obs::Histogram* round_latency_{nullptr};
   std::vector<obs::Gauge*> queue_gauges_;  // indexed like queues_
 
-  std::vector<std::unique_ptr<BufferQueue>> queues_;
+  std::vector<std::unique_ptr<Channel>> queues_;
   std::vector<std::vector<std::unique_ptr<Buffer>>> pools_;  // by pipeline
   std::vector<std::unique_ptr<RunWorker>> workers_;
-  std::unordered_map<const BufferQueue*, std::uint32_t> queue_index_;
+  std::unordered_map<const Channel*, std::uint32_t> queue_index_;
 
   std::mutex err_mutex_;
   std::exception_ptr first_error_;

@@ -31,9 +31,9 @@ struct GraphRuntime::RunWorker {
   std::uint32_t index{0};
   const PlannedWorker* spec{nullptr};
 
-  BufferQueue* in{nullptr};  // all kinds except custom
-  std::unordered_map<PipelineId, BufferQueue*> in_by_pid;  // custom only
-  std::unordered_map<PipelineId, BufferQueue*> out;  // successor per pid
+  Channel* in{nullptr};  // all kinds except custom
+  std::unordered_map<PipelineId, Channel*> in_by_pid;  // custom only
+  std::unordered_map<PipelineId, Channel*> out;  // successor per pid
 
   StageStats stats;
   std::thread thread;
@@ -62,10 +62,22 @@ struct GraphRuntime::RunWorker {
   struct ReplShared {
     std::mutex mutex;
     std::condition_variable cv;
-    std::unordered_map<PipelineId, int> in_flight;
+    /// Buffer tokens popped from the shared queue that have reached a
+    /// terminal state (conveyed, recycled, or parked).  The caboose gate
+    /// compares this against the queue's own pop count — which the queue
+    /// bumps atomically with the pop, and which never counts synthesized
+    /// abort tokens — so a buffer a sibling has popped but not yet
+    /// registered anywhere still holds the caboose back.  (A counter the
+    /// replicas bump *after* pop returns would leave a pop-to-register
+    /// window the caboose could slip through.)
+    std::uint64_t resolved{0};
     std::unordered_map<PipelineId, bool> closed;
     std::size_t active{0};
     bool initialized{false};
+    /// Task-executor termination flag: set (under mutex) by the replica
+    /// task that forwards the last caboose, instead of the poison-pill
+    /// close tokens the blocking loop uses to wake sleeping siblings.
+    bool done{false};
   } repl;
 };
 

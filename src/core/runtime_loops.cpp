@@ -11,7 +11,7 @@ namespace fg {
 // teardown (an aborted queue refuses regular pushes) so every buffer
 // stays accountable — nothing rests "nowhere" after an abort.
 void GraphRuntime::park_token(RunWorker& w, Token t) {
-  BufferQueue* q = source_in(t.pipeline);
+  Channel* q = source_in(t.pipeline);
   if (!traced_push(w, q, t)) q->force_push(t);
   emit(StageEventKind::kBufferRecycled, w.index, t.pipeline);
   emit_queue(StageEventKind::kQueuePush, q, t.pipeline);
@@ -31,7 +31,7 @@ void GraphRuntime::source_loop(RunWorker& w) {
     b->set_round(st.emitted++);
     b->set_size(0);
     b->set_tag(0);
-    BufferQueue* q = w.out.at(pid);
+    Channel* q = w.out.at(pid);
     const auto t0 = util::Clock::now();
     b->set_emitted_at(t0);  // the round's birth timestamp, read by the sink
     const bool ok = traced_push(w, q, Token::of_buffer(b));
@@ -219,7 +219,7 @@ void GraphRuntime::map_loop(RunWorker& w) {
         const bool closes = action == StageAction::kConveyAndClose ||
                             action == StageAction::kRecycleAndClose;
         if (conveys) {
-          BufferQueue* q = w.out.at(pid);
+          Channel* q = w.out.at(pid);
           const auto tc = util::Clock::now();
           const bool ok = traced_push(w, q, t);
           const auto tc1 = util::Clock::now();
@@ -263,7 +263,6 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
     if (!shared.initialized) {
       shared.active = w.spec->members.size();
       for (PipelineId pid : w.spec->members) {
-        shared.in_flight[pid] = 0;
         shared.closed[pid] = false;
       }
       shared.initialized = true;
@@ -299,11 +298,15 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
         return;
       case TokenKind::kCaboose: {
         const PipelineId pid = t.pipeline;
-        // The caboose may overtake buffers still being processed by
-        // other replicas; it must leave this stage last.
+        // The caboose may overtake buffers other replicas have already
+        // popped; it must leave this stage last.  Gate on the queue's own
+        // pop count (bumped atomically with each pop, aborts excluded):
+        // every buffer popped before this caboose — even one a sibling
+        // has not yet registered anywhere — must resolve first.
+        const std::uint64_t target = w.in->stats().pops - 1;
         {
           std::unique_lock<std::mutex> lock(shared.mutex);
-          shared.cv.wait(lock, [&] { return shared.in_flight[pid] == 0; });
+          shared.cv.wait(lock, [&] { return shared.resolved >= target; });
         }
         const auto tw = util::Clock::now();
         stage->flush(pid);
@@ -333,9 +336,10 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
           std::lock_guard<std::mutex> lock(shared.mutex);
           if (shared.closed[pid]) {
             park_token(w, t);
+            ++shared.resolved;
+            shared.cv.notify_all();
             break;
           }
-          ++shared.in_flight[pid];
         }
         emit(StageEventKind::kBufferAccepted, w.index, pid);
         const auto tw = util::Clock::now();
@@ -346,7 +350,7 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
           park_token(w, t);
           {
             std::lock_guard<std::mutex> lock(shared.mutex);
-            --shared.in_flight[pid];
+            ++shared.resolved;
           }
           shared.cv.notify_all();
           merge_stats();
@@ -365,7 +369,7 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
         const bool closes = action == StageAction::kConveyAndClose ||
                             action == StageAction::kRecycleAndClose;
         if (conveys) {
-          BufferQueue* q = w.out.at(pid);
+          Channel* q = w.out.at(pid);
           const auto tc = util::Clock::now();
           const bool ok = traced_push(w, q, t);
           const auto tc1 = util::Clock::now();
@@ -396,7 +400,7 @@ void GraphRuntime::map_loop_replicated(RunWorker& w) {
         }
         {
           std::lock_guard<std::mutex> lock(shared.mutex);
-          --shared.in_flight[pid];
+          ++shared.resolved;
         }
         shared.cv.notify_all();
         break;
@@ -480,7 +484,7 @@ Buffer* GraphRuntime::Context::accept_pid(PipelineId pid) {
         "fg::StageContext::accept: stage '" + w_.spec->stage->name() +
         "' is not a member of that pipeline");
   }
-  BufferQueue* q = qit->second;
+  Channel* q = qit->second;
   for (;;) {
     const auto t0 = util::Clock::now();
     Token t = rt_.traced_pop(w_, q);

@@ -109,6 +109,7 @@ std::size_t p3_recv_capacity(const Geo& g, std::uint32_t block_records) {
 
 void instrument_graph(PipelineGraph& graph, const SortConfig& cfg,
                       comm::Fabric& fabric) {
+  graph.set_runtime_options(cfg.runtime);
   if (cfg.obs) graph.set_observability(cfg.obs);
   if (cfg.watchdog_ms == 0) return;
   graph.set_watchdog(std::chrono::milliseconds(cfg.watchdog_ms));

@@ -149,6 +149,7 @@ void check_config(const comm::Cluster& cluster, const pdm::Workspace& ws,
 
 void instrument_graph(PipelineGraph& graph, const SortConfig& cfg,
                       comm::Fabric& fabric) {
+  graph.set_runtime_options(cfg.runtime);
   if (cfg.obs) graph.set_observability(cfg.obs);
   if (cfg.watchdog_ms == 0) return;
   graph.set_watchdog(std::chrono::milliseconds(cfg.watchdog_ms));

@@ -1,12 +1,14 @@
-// Unit tests for fg::Buffer and fg::BufferQueue — the data plane of the
-// pipeline framework.
+// Unit tests for fg::Buffer, fg::BufferQueue, and fg::SpscChannel — the
+// data plane of the pipeline framework.
 #include "core/buffer.hpp"
+#include "core/channel.hpp"
 #include "core/queue.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <thread>
 #include <vector>
 
@@ -215,6 +217,147 @@ TEST(BufferQueue, ManyProducersManyConsumers) {
   q.push(Token::caboose(0));
   for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
   EXPECT_EQ(consumed.load(), kPerProducer * kProducers);
+}
+
+// ---------------------------------------------------------------------------
+// SpscChannel: the wait-free fast path must honour the exact BufferQueue
+// contract — token semantics, abort behaviour, and stats accounting.
+// ---------------------------------------------------------------------------
+
+TEST(SpscChannel, FifoOrderAndTryPop) {
+  SpscChannel q(8, 0);
+  EXPECT_EQ(q.kind(), ChannelKind::kSpsc);
+  Token t;
+  EXPECT_FALSE(q.try_pop(t));
+  Buffer a(16, 0, false), b(16, 0, false);
+  EXPECT_EQ(q.try_push(Token::of_buffer(&a)), PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(Token::of_buffer(&b)), PushResult::kAccepted);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t.buffer, &a);
+  EXPECT_EQ(q.pop().buffer, &b);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SpscChannel, BlockingPopWakesOnPush) {
+  SpscChannel q(4, 0);
+  Buffer a(16, 0, false);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(Token::of_buffer(&a));
+  });
+  EXPECT_EQ(q.pop().buffer, &a);
+  producer.join();
+}
+
+TEST(SpscChannel, DeclaredCapacityThrottlesProducer) {
+  // declared capacity 1 below the provable bound: the full edge is live.
+  SpscChannel q(4, 1);
+  EXPECT_EQ(q.capacity(), 1u);
+  Buffer a(16, 0, false), b(16, 0, false);
+  ASSERT_EQ(q.try_push(Token::of_buffer(&a)), PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(Token::of_buffer(&b)), PushResult::kFull);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(Token::of_buffer(&b)));  // blocks on the full edge
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().buffer, &a);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().buffer, &b);
+}
+
+TEST(SpscChannel, AbortWinsOverResidentTokens) {
+  // Like the MPMC queue: after abort, pops report abortion and the
+  // resident tokens stay in place for the teardown audit.
+  SpscChannel q(4, 0);
+  Buffer a(16, 0, false);
+  ASSERT_EQ(q.try_push(Token::of_buffer(&a)), PushResult::kAccepted);
+  q.abort();
+  EXPECT_EQ(q.pop().kind, TokenKind::kAbort);
+  Token t;
+  EXPECT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t.kind, TokenKind::kAbort);
+  EXPECT_EQ(q.try_push(Token::of_buffer(&a)), PushResult::kAborted);
+  std::size_t residents = 0;
+  q.for_each_resident([&](const Token& r) {
+    ++residents;
+    EXPECT_EQ(r.buffer, &a);
+  });
+  EXPECT_EQ(residents, 1u);
+}
+
+TEST(SpscChannel, AbortWakesBlockedPeers) {
+  SpscChannel full(4, 1);
+  Buffer a(16, 0, false), b(16, 0, false);
+  ASSERT_EQ(full.try_push(Token::of_buffer(&a)), PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_FALSE(full.push(Token::of_buffer(&b)));  // dropped on abort
+  });
+  SpscChannel empty(4, 0);
+  std::thread consumer([&] {
+    EXPECT_EQ(empty.pop().kind, TokenKind::kAbort);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full.abort();
+  empty.abort();
+  producer.join();
+  consumer.join();
+}
+
+TEST(SpscChannel, ForcePushCountsAsForcedNotPushed) {
+  SpscChannel q(4, 0);
+  Buffer a(16, 0, false);
+  ASSERT_EQ(q.try_push(Token::of_buffer(&a)), PushResult::kAccepted);
+  (void)q.pop();
+  q.abort();
+  q.force_push(Token::of_buffer(&a));  // teardown parking from any thread
+  q.force_push(Token::of_buffer(&a));
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.kind, ChannelKind::kSpsc);
+  EXPECT_EQ(s.pushes, 1u);
+  EXPECT_EQ(s.forced, 2u);
+  EXPECT_EQ(s.pops, 1u);
+  EXPECT_EQ(q.size(), s.pushes + s.forced - s.pops);
+  std::size_t residents = 0;
+  q.for_each_resident([&](const Token&) { ++residents; });
+  EXPECT_EQ(residents, 2u);
+}
+
+TEST(SpscChannel, StreamingStressDeliversEverythingInOrder) {
+  // One producer, one consumer, a tight ring: every token arrives exactly
+  // once and in order, the caboose last, and the stats reconcile.
+  SpscChannel q(4, 2);
+  constexpr std::uint64_t kTokens = 200000;
+  std::deque<Buffer> bufs;
+  for (int i = 0; i < 8; ++i) bufs.emplace_back(8, PipelineId{0}, false);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kTokens; ++i) {
+      Buffer& b = bufs[i % bufs.size()];
+      b.set_tag(i);
+      ASSERT_TRUE(q.push(Token::of_buffer(&b)));
+    }
+    ASSERT_TRUE(q.push(Token::caboose(0)));
+  });
+  std::uint64_t next = 0;
+  for (;;) {
+    const Token t = q.pop();
+    if (t.kind == TokenKind::kCaboose) break;
+    ASSERT_EQ(t.kind, TokenKind::kBuffer);
+    // The producer reuses buffers round-robin and the ring holds at most
+    // 2 tokens, so the tag is still intact when the consumer reads it.
+    ASSERT_EQ(t.buffer->tag(), next);
+    ++next;
+  }
+  producer.join();
+  EXPECT_EQ(next, kTokens);
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushes, kTokens + 1);
+  EXPECT_EQ(s.pops, kTokens + 1);
+  EXPECT_LE(s.peak, 2u);
 }
 
 }  // namespace

@@ -305,6 +305,165 @@ TEST(ChaosCluster, NodeCrashUnwindsSurvivors) {
   EXPECT_FALSE(cluster.fabric().crashed(0));
 }
 
+// -- executor/channel chaos -------------------------------------------------
+
+namespace {
+
+/// Sum the per-queue reconciliation over a finished (or aborted) run:
+/// every queue must satisfy residents == pushes + forced - pops, where
+/// residents can never be negative, and the buffer tokens among those
+/// residents are exactly what audit_buffers() counted as in_queues.
+void expect_queues_reconcile(const PipelineGraph& g, bool clean_run) {
+  std::uint64_t residents = 0;
+  for (const QueueStats& q : g.run_stats().queues) {
+    ASSERT_GE(q.pushes + q.forced, q.pops);
+    residents += q.pushes + q.forced - q.pops;
+  }
+  std::size_t in_queues = 0;
+  for (const BufferAudit& a : g.audit_buffers()) in_queues += a.in_queues;
+  // Non-buffer tokens (cabooses, closes, aborts) may also be resident
+  // after an abortive teardown, so the buffer count is a lower bound.
+  // On a clean run every resident is a buffer — the ones the sink
+  // recycled after the source retired — so the two counts must agree.
+  EXPECT_LE(in_queues, residents);
+  if (clean_run) {
+    EXPECT_EQ(residents, in_queues);
+  }
+}
+
+PipelineConfig chain_config(std::uint64_t rounds) {
+  PipelineConfig pc;
+  pc.name = "chain";
+  pc.num_buffers = 3;
+  pc.buffer_bytes = 64;
+  pc.rounds = rounds;
+  pc.queue_capacity = 2;  // bounded: the plan can prove SPSC eligibility
+  return pc;
+}
+
+}  // namespace
+
+TEST(ChaosExecutor, StageFaultUnderTaskExecutorReconciles) {
+  fault::Injector inj(chaos_seed());
+  inj.arm(fault::kStageThrow, fault::Rule::one_shot(7));
+
+  PipelineGraph g;
+  auto& p = g.add_pipeline(chain_config(200));
+  MapStage a("a", [](Buffer&) { return StageAction::kConvey; });
+  MapStage boom("boom", fault::guarded(inj, fault::kStageThrow, -1,
+                                       [](Buffer&) {
+                                         return StageAction::kConvey;
+                                       }));
+  MapStage b("b", [](Buffer&) { return StageAction::kConvey; });
+  p.add_stage(a);
+  p.add_stage(boom);
+  p.add_stage(b);
+  RuntimeOptions opt;
+  opt.executor = ExecutorKind::kTasks;
+  opt.task_workers = 4;
+  g.set_runtime_options(opt);
+  // The watchdog is the hang detector: a worker that failed to unwind
+  // would stall progress and turn this throw into PipelineStalled.
+  g.set_watchdog(std::chrono::seconds(30));
+
+  EXPECT_THROW(g.run(), fault::InjectedFault);
+  EXPECT_EQ(g.run_stats().executor, std::string("tasks"));
+  for (const BufferAudit& au : g.audit_buffers()) {
+    EXPECT_EQ(au.accounted(), au.pool);
+  }
+  expect_queues_reconcile(g, false);
+}
+
+TEST(ChaosExecutor, StageFaultOnSpscChannelsReconciles) {
+  fault::Injector inj(chaos_seed() + 1);
+  inj.arm(fault::kStageThrow, fault::Rule::one_shot(11));
+
+  PipelineGraph g;
+  auto& p = g.add_pipeline(chain_config(200));
+  MapStage a("a", [](Buffer&) { return StageAction::kConvey; });
+  MapStage boom("boom", fault::guarded(inj, fault::kStageThrow, -1,
+                                       [](Buffer&) {
+                                         return StageAction::kConvey;
+                                       }));
+  p.add_stage(a);
+  p.add_stage(boom);
+  g.set_runtime_options(RuntimeOptions{});  // channels auto: SPSC rings
+  g.set_watchdog(std::chrono::seconds(30));
+
+  EXPECT_THROW(g.run(), fault::InjectedFault);
+  // The fault must have hit the wait-free rings, not only MPMC queues.
+  bool saw_spsc = false;
+  for (const QueueStats& q : g.run_stats().queues) {
+    if (q.kind == ChannelKind::kSpsc) saw_spsc = true;
+  }
+  if (std::getenv("FG_CHANNELS") == nullptr) {
+    EXPECT_TRUE(saw_spsc);
+  }
+  for (const BufferAudit& au : g.audit_buffers()) {
+    EXPECT_EQ(au.accounted(), au.pool);
+  }
+  expect_queues_reconcile(g, false);
+}
+
+TEST(ChaosExecutor, HealthyRunLeavesEveryQueueEmpty) {
+  // The exact reconciliation (residents == pushes + forced - pops == 0)
+  // on the success path, under both executors.
+  for (ExecutorKind kind :
+       {ExecutorKind::kThreadPerStage, ExecutorKind::kTasks}) {
+    PipelineGraph g;
+    auto& p = g.add_pipeline(chain_config(300));
+    std::atomic<int> n{0};
+    MapStage a("a", [](Buffer&) { return StageAction::kConvey; });
+    MapStage b("b", [&](Buffer&) {
+      ++n;
+      return StageAction::kConvey;
+    });
+    p.add_stage(a);
+    p.add_stage(b);
+    RuntimeOptions opt;
+    opt.executor = kind;
+    opt.task_workers = 4;
+    g.set_runtime_options(opt);
+    g.run();
+    EXPECT_EQ(n.load(), 300);
+    expect_queues_reconcile(g, true);
+  }
+}
+
+TEST(ChaosExecutor, WatchdogNamesStalledWorkersUnderTasks) {
+  // The hoarding custom stage keeps its dedicated thread under the task
+  // backend; the source *task* parks once the pool is drained.  The
+  // watchdog must still see the wedge, name it, and the teardown must
+  // wake every parked task — the pool threads may not outlive the run.
+  PipelineGraph g;
+  PipelineConfig pc;
+  pc.name = "wedged";
+  pc.num_buffers = 3;
+  pc.buffer_bytes = 64;
+  pc.rounds = 100;
+  auto& p = g.add_pipeline(pc);
+  HoardStage hoard;
+  p.add_stage(hoard);
+  RuntimeOptions opt;
+  opt.executor = ExecutorKind::kTasks;
+  opt.task_workers = 4;
+  g.set_runtime_options(opt);
+  g.set_watchdog(std::chrono::milliseconds(400));
+
+  try {
+    g.run();
+    FAIL() << "expected PipelineStalled";
+  } catch (const PipelineStalled& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("blocked"), std::string::npos) << what;
+    EXPECT_NE(what.find("queue"), std::string::npos) << what;
+  }
+  EXPECT_EQ(g.run_stats().executor, std::string("tasks"));
+  for (const BufferAudit& a : g.audit_buffers()) {
+    EXPECT_EQ(a.accounted(), a.pool);
+  }
+}
+
 // -- determinism and the spec grammar ---------------------------------------
 
 TEST(ChaosInjector, SeededFiringIsReproducible) {

@@ -2,6 +2,7 @@
 // multiple intersecting pipelines (common stage), and virtual stages /
 // virtual pipelines (shared threads and queues).
 #include "core/fg.hpp"
+#include "exec_param.hpp"
 
 #include <gtest/gtest.h>
 
@@ -28,11 +29,25 @@ PipelineConfig cfg_of(std::string name, std::size_t buffer_bytes,
   return c;
 }
 
+// Every suite replays under {threads,tasks} x {auto,mpmc} channels.
+using DisjointP = test::WithExecutor;
+using IntersectingP = test::WithExecutor;
+using VirtualP = test::WithExecutor;
+INSTANTIATE_TEST_SUITE_P(Executors, DisjointP,
+                         ::testing::ValuesIn(test::kExecMatrix),
+                         test::exec_param_name);
+INSTANTIATE_TEST_SUITE_P(Executors, IntersectingP,
+                         ::testing::ValuesIn(test::kExecMatrix),
+                         test::exec_param_name);
+INSTANTIATE_TEST_SUITE_P(Executors, VirtualP,
+                         ::testing::ValuesIn(test::kExecMatrix),
+                         test::exec_param_name);
+
 // ---------------------------------------------------------------------------
 // Disjoint pipelines
 // ---------------------------------------------------------------------------
 
-TEST(Disjoint, TwoPipelinesRunIndependently) {
+TEST_P(DisjointP, TwoPipelinesRunIndependently) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of("a", 64, 2, 10));
   auto& pb = g.add_pipeline(cfg_of("b", 128, 3, 25));
@@ -54,7 +69,7 @@ TEST(Disjoint, TwoPipelinesRunIndependently) {
   EXPECT_EQ(nb.load(), 25);
 }
 
-TEST(Disjoint, EachPipelineHasOwnSourceSinkAndPool) {
+TEST_P(DisjointP, EachPipelineHasOwnSourceSinkAndPool) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of("a", 64, 2, 1));
   auto& pb = g.add_pipeline(cfg_of("b", 64, 2, 1));
@@ -74,7 +89,7 @@ TEST(Disjoint, EachPipelineHasOwnSourceSinkAndPool) {
   EXPECT_EQ(sinks, 2);
 }
 
-TEST(Disjoint, PipelinesProgressAtDifferentRates) {
+TEST_P(DisjointP, PipelinesProgressAtDifferentRates) {
   // The fast pipeline must not wait for the slow one — its buffers finish
   // long before the slow pipeline's rounds complete.
   PipelineGraph g;
@@ -213,7 +228,7 @@ std::vector<int> run_merge_graph(int k, int len, bool virtual_reads,
   return out;
 }
 
-TEST(Intersecting, MergeProducesSortedUnion) {
+TEST_P(IntersectingP, MergeProducesSortedUnion) {
   const auto out = run_merge_graph(4, 32, true);
   ASSERT_EQ(out.size(), 4u * 32u);
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
@@ -222,18 +237,18 @@ TEST(Intersecting, MergeProducesSortedUnion) {
   }
 }
 
-TEST(Intersecting, SingleVerticalPipeline) {
+TEST_P(IntersectingP, SingleVerticalPipeline) {
   const auto out = run_merge_graph(1, 10, false);
   ASSERT_EQ(out.size(), 10u);
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
 }
 
-TEST(Intersecting, ZeroLengthRuns) {
+TEST_P(IntersectingP, ZeroLengthRuns) {
   const auto out = run_merge_graph(3, 0, true);
   EXPECT_TRUE(out.empty());
 }
 
-TEST(Intersecting, UnevenRunsViaDifferentChunking) {
+TEST_P(IntersectingP, UnevenRunsViaDifferentChunking) {
   // Runs of equal length but vertical buffers drain at data-dependent
   // rates; the merged output must still be the sorted union.
   const auto out = run_merge_graph(7, 23, true);
@@ -241,7 +256,7 @@ TEST(Intersecting, UnevenRunsViaDifferentChunking) {
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
 }
 
-TEST(Intersecting, CommonStageMustBeCustom) {
+TEST_P(IntersectingP, CommonStageMustBeCustom) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of("a", 64, 2, 1));
   auto& pb = g.add_pipeline(cfg_of("b", 64, 2, 1));
@@ -251,7 +266,7 @@ TEST(Intersecting, CommonStageMustBeCustom) {
   EXPECT_THROW(g.run(), std::logic_error);
 }
 
-TEST(Intersecting, BuffersCannotJumpPipelines) {
+TEST_P(IntersectingP, BuffersCannotJumpPipelines) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of("a", 64, 2, 0));
   auto& pb = g.add_pipeline(cfg_of("b", 64, 2, 0));
@@ -278,7 +293,7 @@ TEST(Intersecting, BuffersCannotJumpPipelines) {
   EXPECT_NO_THROW(g.run());
 }
 
-TEST(Intersecting, AcceptOnForeignPipelineThrows) {
+TEST_P(IntersectingP, AcceptOnForeignPipelineThrows) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of("a", 64, 2, 1));
   auto& pb = g.add_pipeline(cfg_of("b", 64, 2, 1));
@@ -300,7 +315,7 @@ TEST(Intersecting, AcceptOnForeignPipelineThrows) {
 // Virtual stages and pipelines
 // ---------------------------------------------------------------------------
 
-TEST(Virtual, SharedThreadForManyPipelines) {
+TEST_P(VirtualP, SharedThreadForManyPipelines) {
   std::size_t threads = 0;
   const int k = 50;
   const auto out = run_merge_graph(k, 8, true, &threads);
@@ -311,7 +326,7 @@ TEST(Virtual, SharedThreadForManyPipelines) {
   EXPECT_EQ(threads, 7u);
 }
 
-TEST(Virtual, NonVirtualUsesManyThreads) {
+TEST_P(VirtualP, NonVirtualUsesManyThreads) {
   std::size_t threads = 0;
   const int k = 5;
   const auto out = run_merge_graph(k, 8, false, &threads);
@@ -321,7 +336,7 @@ TEST(Virtual, NonVirtualUsesManyThreads) {
   EXPECT_EQ(threads, 3u * k + 4u);
 }
 
-TEST(Virtual, VirtualStageMustBeMapStage) {
+TEST_P(VirtualP, VirtualStageMustBeMapStage) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of("a", 64, 2, 1));
   auto& pb = g.add_pipeline(cfg_of("b", 64, 2, 1));
@@ -334,7 +349,7 @@ TEST(Virtual, VirtualStageMustBeMapStage) {
   EXPECT_THROW(g.run(), std::logic_error);
 }
 
-TEST(Virtual, PerPipelineCloseIsIndependent) {
+TEST_P(VirtualP, PerPipelineCloseIsIndependent) {
   // Three virtual pipelines with different data lengths: each must close
   // when its own data runs out, without stopping the others.
   PipelineGraph g;
@@ -362,7 +377,7 @@ TEST(Virtual, PerPipelineCloseIsIndependent) {
   EXPECT_EQ(g.planned_threads(), 4u);
 }
 
-TEST(Virtual, SingleVirtualStageActsAsNormal) {
+TEST_P(VirtualP, SingleVirtualStageActsAsNormal) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of("p", 64, 2, 4));
   int n = 0;
@@ -375,7 +390,7 @@ TEST(Virtual, SingleVirtualStageActsAsNormal) {
   EXPECT_EQ(n, 4);
 }
 
-TEST(Virtual, StatsAggregateAcrossMembers) {
+TEST_P(VirtualP, StatsAggregateAcrossMembers) {
   PipelineGraph g;
   MapStage s("vstage", [](Buffer&) { return StageAction::kConvey; });
   for (int i = 0; i < 4; ++i) {
@@ -393,7 +408,7 @@ TEST(Virtual, StatsAggregateAcrossMembers) {
   }
 }
 
-TEST(Virtual, MixedVirtualAndNormalSharingRejected) {
+TEST_P(VirtualP, MixedVirtualAndNormalSharingRejected) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of("a", 64, 2, 1));
   auto& pb = g.add_pipeline(cfg_of("b", 64, 2, 1));
@@ -403,7 +418,7 @@ TEST(Virtual, MixedVirtualAndNormalSharingRejected) {
   EXPECT_THROW(g.run(), std::logic_error);
 }
 
-TEST(Virtual, HundredsOfPipelinesFewThreads) {
+TEST_P(VirtualP, HundredsOfPipelinesFewThreads) {
   PipelineGraph g;
   const int k = 300;
   std::vector<std::size_t> pos(static_cast<std::size_t>(k), 0);

@@ -2,6 +2,7 @@
 // dynamic termination via close, the auxiliary-buffer feature, flush
 // hooks, stage statistics, error propagation, and API misuse checks.
 #include "core/fg.hpp"
+#include "exec_param.hpp"
 
 #include <gtest/gtest.h>
 
@@ -25,7 +26,13 @@ PipelineConfig small_config(std::string name, std::uint64_t rounds,
   return cfg;
 }
 
-TEST(Pipeline, FixedRoundsDeliverEveryRound) {
+// Every test replays under {threads,tasks} x {auto,mpmc} channels.
+using PipelineP = test::WithExecutor;
+INSTANTIATE_TEST_SUITE_P(Executors, PipelineP,
+                         ::testing::ValuesIn(test::kExecMatrix),
+                         test::exec_param_name);
+
+TEST_P(PipelineP, FixedRoundsDeliverEveryRound) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 20));
   std::vector<std::uint64_t> rounds;
@@ -45,7 +52,7 @@ TEST(Pipeline, FixedRoundsDeliverEveryRound) {
   for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(rounds[i], i);
 }
 
-TEST(Pipeline, RoundsExceedBufferPool) {
+TEST_P(PipelineP, RoundsExceedBufferPool) {
   // 100 rounds through a pool of 2 buffers: recycling must reuse them.
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 100, 2));
@@ -62,7 +69,7 @@ TEST(Pipeline, RoundsExceedBufferPool) {
   EXPECT_EQ(distinct.size(), 2u);
 }
 
-TEST(Pipeline, SourceEmitsEmptyBuffers) {
+TEST_P(PipelineP, SourceEmitsEmptyBuffers) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 5));
   MapStage s("s", [&](Buffer& b) {
@@ -74,7 +81,7 @@ TEST(Pipeline, SourceEmitsEmptyBuffers) {
   g.run();
 }
 
-TEST(Pipeline, DynamicCloseStopsSource) {
+TEST_P(PipelineP, DynamicCloseStopsSource) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 0));
   int produced = 0, seen = 0;
@@ -93,7 +100,7 @@ TEST(Pipeline, DynamicCloseStopsSource) {
   EXPECT_EQ(seen, 13);
 }
 
-TEST(Pipeline, ConveyAndCloseDeliversLastBuffer) {
+TEST_P(PipelineP, ConveyAndCloseDeliversLastBuffer) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 0));
   int produced = 0;
@@ -115,7 +122,7 @@ TEST(Pipeline, ConveyAndCloseDeliversLastBuffer) {
   EXPECT_EQ(seen.back(), 4);
 }
 
-TEST(Pipeline, MidPipelineRecycleSkipsDownstream) {
+TEST_P(PipelineP, MidPipelineRecycleSkipsDownstream) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 10));
   int downstream = 0;
@@ -133,7 +140,7 @@ TEST(Pipeline, MidPipelineRecycleSkipsDownstream) {
   EXPECT_EQ(downstream, 5);
 }
 
-TEST(Pipeline, AuxBuffersAvailableWhenConfigured) {
+TEST_P(PipelineP, AuxBuffersAvailableWhenConfigured) {
   PipelineGraph g;
   auto cfg = small_config("p", 3);
   cfg.aux_buffers = true;
@@ -150,7 +157,7 @@ TEST(Pipeline, AuxBuffersAvailableWhenConfigured) {
   g.run();
 }
 
-TEST(Pipeline, FlushHookRunsOncePerPipeline) {
+TEST_P(PipelineP, FlushHookRunsOncePerPipeline) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 4));
   std::atomic<int> flushes{0};
@@ -162,7 +169,7 @@ TEST(Pipeline, FlushHookRunsOncePerPipeline) {
   EXPECT_EQ(flushes.load(), 1);
 }
 
-TEST(Pipeline, FlushSeesAllBuffersFirst) {
+TEST_P(PipelineP, FlushSeesAllBuffersFirst) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 7));
   int buffers_at_flush = -1;
@@ -179,7 +186,7 @@ TEST(Pipeline, FlushSeesAllBuffersFirst) {
   EXPECT_EQ(buffers_at_flush, 7);
 }
 
-TEST(Pipeline, TagTravelsWithBuffer) {
+TEST_P(PipelineP, TagTravelsWithBuffer) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 6));
   std::vector<std::uint64_t> tags;
@@ -198,7 +205,7 @@ TEST(Pipeline, TagTravelsWithBuffer) {
   EXPECT_EQ(tags[5], 55u);
 }
 
-TEST(Pipeline, StatsCountBuffersPerStage) {
+TEST_P(PipelineP, StatsCountBuffersPerStage) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 12));
   MapStage a("a", [](Buffer&) { return StageAction::kConvey; });
@@ -225,7 +232,7 @@ TEST(Pipeline, StatsCountBuffersPerStage) {
   EXPECT_TRUE(saw_a && saw_b && saw_source && saw_sink);
 }
 
-TEST(Pipeline, SlowStageAccumulatesWorkTime) {
+TEST_P(PipelineP, SlowStageAccumulatesWorkTime) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 5));
   MapStage slow("slow", [](Buffer&) {
@@ -244,7 +251,7 @@ TEST(Pipeline, SlowStageAccumulatesWorkTime) {
   }
 }
 
-TEST(Pipeline, StageExceptionPropagatesAndUnwinds) {
+TEST_P(PipelineP, StageExceptionPropagatesAndUnwinds) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 100));
   MapStage boom("boom", [](Buffer& b) -> StageAction {
@@ -257,7 +264,7 @@ TEST(Pipeline, StageExceptionPropagatesAndUnwinds) {
   EXPECT_THROW(g.run(), std::runtime_error);
 }
 
-TEST(Pipeline, RunIsRepeatable) {
+TEST_P(PipelineP, RunIsRepeatable) {
   // Graphs execute a cached plan on a fresh runtime per run(): same
   // results every time, stats reset in between.
   PipelineGraph g;
@@ -278,18 +285,18 @@ TEST(Pipeline, RunIsRepeatable) {
   }
 }
 
-TEST(Pipeline, EmptyGraphRejected) {
+TEST_P(PipelineP, EmptyGraphRejected) {
   PipelineGraph g;
   EXPECT_THROW(g.run(), std::logic_error);
 }
 
-TEST(Pipeline, PipelineWithoutStagesRejected) {
+TEST_P(PipelineP, PipelineWithoutStagesRejected) {
   PipelineGraph g;
   g.add_pipeline(small_config("p", 1));
   EXPECT_THROW(g.run(), std::logic_error);
 }
 
-TEST(Pipeline, DuplicateStageInOnePipelineRejected) {
+TEST_P(PipelineP, DuplicateStageInOnePipelineRejected) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 1));
   MapStage s("s", [](Buffer&) { return StageAction::kConvey; });
@@ -297,7 +304,7 @@ TEST(Pipeline, DuplicateStageInOnePipelineRejected) {
   EXPECT_THROW(p.add_stage(s), std::logic_error);
 }
 
-TEST(Pipeline, AddStageAfterBuildRejected) {
+TEST_P(PipelineP, AddStageAfterBuildRejected) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 1));
   MapStage s("s", [](Buffer&) { return StageAction::kConvey; });
@@ -308,7 +315,7 @@ TEST(Pipeline, AddStageAfterBuildRejected) {
   EXPECT_THROW(g.add_pipeline(small_config("q", 1)), std::logic_error);
 }
 
-TEST(Pipeline, ZeroBuffersRejected) {
+TEST_P(PipelineP, ZeroBuffersRejected) {
   PipelineGraph g;
   auto cfg = small_config("p", 1);
   cfg.num_buffers = 0;
@@ -318,7 +325,7 @@ TEST(Pipeline, ZeroBuffersRejected) {
   EXPECT_THROW(g.run(), std::logic_error);
 }
 
-TEST(Pipeline, MapStageRunDirectCallRejected) {
+TEST_P(PipelineP, MapStageRunDirectCallRejected) {
   MapStage s("s", [](Buffer&) { return StageAction::kConvey; });
   // MapStages are driven by the framework loop; calling run() directly is
   // a programming error.
@@ -333,7 +340,7 @@ TEST(Pipeline, MapStageRunDirectCallRejected) {
   EXPECT_THROW(s.run(ctx), std::logic_error);
 }
 
-TEST(Pipeline, PlannedThreadsForLinearPipeline) {
+TEST_P(PipelineP, PlannedThreadsForLinearPipeline) {
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 1));
   MapStage a("a", [](Buffer&) { return StageAction::kConvey; });
@@ -344,7 +351,7 @@ TEST(Pipeline, PlannedThreadsForLinearPipeline) {
   EXPECT_EQ(g.planned_threads(), 4u);
 }
 
-TEST(Pipeline, BoundedQueuesStillComplete) {
+TEST_P(PipelineP, BoundedQueuesStillComplete) {
   PipelineGraph g;
   auto cfg = small_config("p", 50, 4);
   cfg.queue_capacity = 1;
@@ -361,7 +368,7 @@ TEST(Pipeline, BoundedQueuesStillComplete) {
   EXPECT_EQ(n, 50);
 }
 
-TEST(Pipeline, CustomStageSinglePipeline) {
+TEST_P(PipelineP, CustomStageSinglePipeline) {
   // A custom stage in a single pipeline: full control over accept/convey.
   PipelineGraph g;
   auto& p = g.add_pipeline(small_config("p", 0));

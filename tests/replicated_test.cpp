@@ -3,6 +3,7 @@
 // parallelism, so these tests use order-insensitive stages and check
 // completeness, speedup of blocking work, termination, and validation.
 #include "core/fg.hpp"
+#include "exec_param.hpp"
 #include "util/timer.hpp"
 
 #include <gtest/gtest.h>
@@ -25,7 +26,13 @@ PipelineConfig cfg_of(std::uint64_t rounds, std::size_t buffers = 8) {
   return c;
 }
 
-TEST(Replicated, ProcessesEveryBufferExactlyOnce) {
+// Every test replays under {threads,tasks} x {auto,mpmc} channels.
+using ReplicatedP = test::WithExecutor;
+INSTANTIATE_TEST_SUITE_P(Executors, ReplicatedP,
+                         ::testing::ValuesIn(test::kExecMatrix),
+                         test::exec_param_name);
+
+TEST_P(ReplicatedP, ProcessesEveryBufferExactlyOnce) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(500));
   std::mutex m;
@@ -46,7 +53,7 @@ TEST(Replicated, ProcessesEveryBufferExactlyOnce) {
   EXPECT_EQ(seen.size(), 500u);
 }
 
-TEST(Replicated, PlannedThreadsCountReplicas) {
+TEST_P(ReplicatedP, PlannedThreadsCountReplicas) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(1));
   MapStage s("s", [](Buffer&) { return StageAction::kConvey; });
@@ -55,7 +62,7 @@ TEST(Replicated, PlannedThreadsCountReplicas) {
   EXPECT_EQ(g.planned_threads(), 7u);
 }
 
-TEST(Replicated, BlockingWorkOverlapsAcrossReplicas) {
+TEST_P(ReplicatedP, BlockingWorkOverlapsAcrossReplicas) {
   // A stage sleeping 10 ms per buffer, 32 rounds: serial floor is 320 ms;
   // with 4 replicas and a deep pool it must take well under half that.
   PipelineGraph g;
@@ -70,7 +77,7 @@ TEST(Replicated, BlockingWorkOverlapsAcrossReplicas) {
   EXPECT_LT(sw.elapsed_seconds(), 0.55 * 0.320);
 }
 
-TEST(Replicated, SingleReplicaBehavesNormally) {
+TEST_P(ReplicatedP, SingleReplicaBehavesNormally) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(20));
   std::atomic<int> n{0};
@@ -83,7 +90,7 @@ TEST(Replicated, SingleReplicaBehavesNormally) {
   EXPECT_EQ(n.load(), 20);
 }
 
-TEST(Replicated, DownstreamSeesAllBuffersBeforeCaboose) {
+TEST_P(ReplicatedP, DownstreamSeesAllBuffersBeforeCaboose) {
   // The caboose must not overtake buffers still in flight in other
   // replicas: the downstream count at flush time must be complete.
   for (int iter = 0; iter < 10; ++iter) {
@@ -106,7 +113,7 @@ TEST(Replicated, DownstreamSeesAllBuffersBeforeCaboose) {
   }
 }
 
-TEST(Replicated, CloseFromReplicaStopsPipeline) {
+TEST_P(ReplicatedP, CloseFromReplicaStopsPipeline) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(0));
   std::atomic<int> emitted{0};
@@ -127,7 +134,7 @@ TEST(Replicated, CloseFromReplicaStopsPipeline) {
   EXPECT_LE(got.load(), 60);  // a few in-flight extras are inherent
 }
 
-TEST(Replicated, FlushRunsOncePerPipeline) {
+TEST_P(ReplicatedP, FlushRunsOncePerPipeline) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(40));
   std::atomic<int> flushes{0};
@@ -139,7 +146,7 @@ TEST(Replicated, FlushRunsOncePerPipeline) {
   EXPECT_EQ(flushes.load(), 1);
 }
 
-TEST(Replicated, StatsAggregateAcrossReplicas) {
+TEST_P(ReplicatedP, StatsAggregateAcrossReplicas) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(100));
   MapStage s("rep", [](Buffer&) { return StageAction::kConvey; });
@@ -152,7 +159,7 @@ TEST(Replicated, StatsAggregateAcrossReplicas) {
   }
 }
 
-TEST(Replicated, ExceptionInReplicaAborts) {
+TEST_P(ReplicatedP, ExceptionInReplicaAborts) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(100));
   MapStage s("boom", [](Buffer& b) -> StageAction {
@@ -163,14 +170,14 @@ TEST(Replicated, ExceptionInReplicaAborts) {
   EXPECT_THROW(g.run(), std::runtime_error);
 }
 
-TEST(Replicated, ZeroReplicasRejected) {
+TEST_P(ReplicatedP, ZeroReplicasRejected) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(1));
   MapStage s("s", [](Buffer&) { return StageAction::kConvey; });
   EXPECT_THROW(p.add_stage_replicated(s, 0), std::logic_error);
 }
 
-TEST(Replicated, MultiplePipelinesRejected) {
+TEST_P(ReplicatedP, MultiplePipelinesRejected) {
   PipelineGraph g;
   auto& pa = g.add_pipeline(cfg_of(1));
   auto& pb = g.add_pipeline(cfg_of(1));
@@ -180,7 +187,7 @@ TEST(Replicated, MultiplePipelinesRejected) {
   EXPECT_THROW(g.run(), std::logic_error);
 }
 
-TEST(Replicated, TwoReplicatedStagesInOnePipeline) {
+TEST_P(ReplicatedP, TwoReplicatedStagesInOnePipeline) {
   PipelineGraph g;
   auto& p = g.add_pipeline(cfg_of(200));
   std::atomic<int> a{0}, b{0};

@@ -25,6 +25,14 @@ run_config() {
 run_config release -DCMAKE_BUILD_TYPE=Release -DFG_WERROR=ON
 run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFG_SANITIZE=thread
 
+# Two-executor conformance: the whole tier-1 suite must pass with the
+# task executor (work-stealing pool) substituted for thread-per-stage.
+# The env override reaches every test through GraphRuntime's kAuto
+# resolution, so this replays identical test bodies on the other backend.
+echo "==> conformance rerun under FG_EXECUTOR=tasks"
+(cd "$root/build-ci-release" && FG_EXECUTOR=tasks FG_TASK_WORKERS=4 \
+  ctest --output-on-failure -j "$jobs")
+
 # Observability round trip: run a small traced sort, validate both blobs
 # structurally (fgtrace --check exits nonzero on a malformed trace —
 # unpaired spans, missing thread names, round-id gaps), and keep the
@@ -102,17 +110,45 @@ grep -q '"disk":"native"' "$nd_dir/report.json"
 rm -rf "$nd_dir"
 echo "==> native disk backend ok"
 
+# Queue-hop gate: the wait-free SPSC channel must beat the mutex/condvar
+# queue on stage-to-stage conveyance cost, on this machine, today.  The
+# bench writes a JSON artifact recording both channel kinds' ns/op and
+# exits nonzero if the ring loses; an executor-labelled fgsort smoke run
+# (traced, so the per-worker task spans go through fgtrace --check too)
+# rides along so the artifact also pins the task backend's config block.
+echo "==> queue-hop bench gate (spsc vs mpmc)"
+"$root/build-ci-release/bench/bench_buffers" \
+  --gate="$root/BENCH_queue_hop.json"
+ex_dir="$root/build-ci-release/executor-check"
+rm -rf "$ex_dir"
+mkdir -p "$ex_dir"
+"$root/build-ci-release/tools/fgsort" --program dsort --nodes 4 \
+  --records 65536 --latency none --seed 29 --executor tasks --workers 4 \
+  --trace-out "$ex_dir/trace.json" --stats-json "$ex_dir/stats.json" \
+  > /dev/null
+grep -q '"executor":"tasks"' "$ex_dir/stats.json"
+"$root/build-ci-release/tools/fgtrace" --check \
+  "$ex_dir/trace.json" "$ex_dir/stats.json"
+rm -rf "$ex_dir"
+echo "==> wrote BENCH_queue_hop.json (spsc beats mpmc; tasks smoke ok)"
+
 # Chaos soak: replay the fault-injection suite under TSan with ten
 # distinct seeds.  Injection schedules are a pure function of the seed,
 # so each iteration exercises a different (but reproducible) failure
 # pattern; the disk-fault tests are parameterized over both backends, so
-# every seed soaks stdio and native alike.  A seed that breaks here
-# reproduces locally with FG_CHAOS_SEED=<seed> build-ci-tsan/tests/chaos_test.
-echo "==> chaos soak (tsan, 10 seeds)"
+# every seed soaks stdio and native alike.  Each seed runs twice — once
+# per executor backend — so the task pool's steal/park/abort paths soak
+# under TSan just like the dedicated-thread loops.  A seed that breaks
+# here reproduces locally with FG_CHAOS_SEED=<seed> (plus
+# FG_EXECUTOR=tasks for the task-pool leg) build-ci-tsan/tests/chaos_test.
+echo "==> chaos soak (tsan, 10 seeds x 2 executors)"
 for seed in 1 2 3 5 8 13 21 34 55 89; do
-  echo "==> chaos seed $seed"
+  echo "==> chaos seed $seed (threads)"
   FG_CHAOS_SEED=$seed "$root/build-ci-tsan/tests/chaos_test" \
     --gtest_brief=1
+  echo "==> chaos seed $seed (tasks)"
+  FG_CHAOS_SEED=$seed FG_EXECUTOR=tasks FG_TASK_WORKERS=4 \
+    "$root/build-ci-tsan/tests/chaos_test" --gtest_brief=1
 done
 
 echo "==> ci: all configurations passed"
