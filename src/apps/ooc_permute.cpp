@@ -37,6 +37,11 @@ PermuteResult run_permute(comm::Cluster& cluster, pdm::Workspace& ws,
     pdm::File output = disk.create(cfg.output_name);
 
     PipelineGraph graph;
+    graph.set_runtime_options(cfg.runtime);
+    if (cfg.watchdog_ms != 0) {
+      graph.set_watchdog(std::chrono::milliseconds(cfg.watchdog_ms));
+      graph.set_abort_hook([&fabric] { fabric.abort(); });
+    }
     PipelineConfig sc;
     sc.name = "send";
     sc.num_buffers = cfg.num_buffers;

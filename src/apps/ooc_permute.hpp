@@ -23,6 +23,7 @@
 #pragma once
 
 #include "comm/cluster.hpp"
+#include "core/executor.hpp"
 #include "pdm/striping.hpp"
 #include "pdm/workspace.hpp"
 
@@ -44,6 +45,16 @@ struct PermuteConfig {
   std::size_t num_buffers{4};
   std::string input_name{"input"};
   std::string output_name{"permuted"};
+
+  /// Executor/channel selection (and fgserve's per-job pool budget)
+  /// applied to every node's pipeline graph, exactly as
+  /// SortConfig::runtime does for the sorting programs.
+  RuntimeOptions runtime{};
+
+  /// Stall watchdog window per graph, in milliseconds; 0 disables it.
+  /// When armed, the fabric is registered as the graph's abort hook so a
+  /// tripped watchdog also unwinds workers blocked in fabric calls.
+  std::uint32_t watchdog_ms{0};
 };
 
 struct PermuteResult {

@@ -197,9 +197,14 @@ void TcpFabric::connect(const std::vector<TcpEndpoint>& peers) {
         if (std::chrono::steady_clock::now() >= deadline) return;
         pollfd pfd{listen_fd_, POLLIN, 0};
         const int pr = ::poll(&pfd, 1, 100);
-        if (pr <= 0) continue;
+        if (pr <= 0) continue;  // timeout or EINTR: re-check and re-poll
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) continue;
+        if (fd < 0) {
+          // EINTR and ECONNABORTED are routine while the mesh forms (a
+          // dialing peer may give up and redial); anything else also
+          // just retries, bounded by the connect deadline above.
+          continue;
+        }
         // Bound the hello read so a stray connection cannot wedge us.
         timeval tv{1, 0};
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
@@ -245,17 +250,40 @@ void TcpFabric::connect(const std::vector<TcpEndpoint>& peers) {
       throw std::runtime_error(
           "fg::comm::TcpFabric::connect: cannot resolve " + host);
     }
+    // Dial with bounded exponential backoff.  During mesh formation a
+    // refused connection usually means the peer's listener isn't up yet,
+    // so ECONNREFUSED (and friends) retry with a growing pause until the
+    // connect deadline; EINTR redials immediately (after EINTR the
+    // socket's connect state is unspecified, so it is closed and
+    // reopened rather than re-connect()ed); anything else — a genuine
+    // misconfiguration like EACCES — fails the bring-up at once instead
+    // of silently burning the whole timeout.
     int fd = -1;
+    int dial_errno = 0;
+    std::chrono::milliseconds backoff = options_.retry_interval;
+    const std::chrono::milliseconds backoff_cap{250};
     for (;;) {
       fd = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (fd >= 0 &&
-          ::connect(fd, res->ai_addr, res->ai_addrlen) == 0) {
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        dial_errno = errno;
         break;
       }
-      if (fd >= 0) ::close(fd);
+      if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) break;
+      const int err = errno;
+      ::close(fd);
       fd = -1;
-      if (std::chrono::steady_clock::now() >= deadline) break;
-      std::this_thread::sleep_for(options_.retry_interval);
+      if (err == EINTR) continue;
+      const bool transient = err == ECONNREFUSED || err == ECONNRESET ||
+                             err == ETIMEDOUT || err == ENETUNREACH ||
+                             err == EHOSTUNREACH || err == EADDRNOTAVAIL ||
+                             err == EAGAIN;
+      if (!transient || std::chrono::steady_clock::now() >= deadline) {
+        dial_errno = err;
+        break;
+      }
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, backoff_cap);
     }
     ::freeaddrinfo(res);
     if (fd < 0) {
@@ -264,7 +292,7 @@ void TcpFabric::connect(const std::vector<TcpEndpoint>& peers) {
       throw std::runtime_error(
           "fg::comm::TcpFabric::connect: rank " + std::to_string(rank_) +
           " could not reach rank " + std::to_string(n) + " at " + host + ":" +
-          std::to_string(ep.port));
+          std::to_string(ep.port) + " (" + std::strerror(dial_errno) + ")");
     }
     set_nodelay(fd);
     std::byte hello[kHelloBytes];

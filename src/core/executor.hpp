@@ -29,6 +29,10 @@
 #include <cstdint>
 #include <memory>
 
+namespace fg::util {
+class ByteBudget;
+}  // namespace fg::util
+
 namespace fg {
 
 class GraphRuntime;
@@ -55,6 +59,13 @@ struct RuntimeOptions {
   /// the default trace layout is identical under both executors; also
   /// enabled by FG_TASK_SPANS=1.  Ignored by the thread backend.
   bool task_spans{false};
+  /// Buffer-pool byte budget (util/budget.hpp).  When set, every run
+  /// charges its pools' full allocation (primary + auxiliary blocks)
+  /// against the budget at runtime construction and releases it at
+  /// teardown; an overdrawn charge throws util::QuotaExceeded before any
+  /// worker thread exists.  This is fgserve's per-job memory quota hook:
+  /// all graphs a job builds share the job's budget.  Null = no quota.
+  util::ByteBudget* pool_budget{nullptr};
 };
 
 /// Resolve kAuto against the environment (FG_EXECUTOR).

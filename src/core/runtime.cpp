@@ -66,6 +66,21 @@ GraphRuntime::GraphRuntime(const ExecutionPlan& plan, EventSink* sink,
     }
   }
 
+  // Per-job memory quota: charge the full pool allocation (primary +
+  // auxiliary blocks) before any buffer exists.  An overdrawn budget
+  // throws util::QuotaExceeded out of the constructor — no threads have
+  // been spawned yet, so the failed run needs no unwinding beyond the
+  // reservation's own RAII release.
+  if (options.pool_budget != nullptr) {
+    std::uint64_t total = 0;
+    for (const PlannedPool& spec : plan.pools()) {
+      total += static_cast<std::uint64_t>(spec.num_buffers) *
+               spec.buffer_bytes * (spec.aux ? 2 : 1);
+    }
+    pool_reservation_ =
+        util::BudgetReservation(options.pool_budget, total, "buffer pools");
+  }
+
   pools_.resize(plan.pools().size());
   for (PipelineId pid = 0; pid < plan.pools().size(); ++pid) {
     const PlannedPool& spec = plan.pools()[pid];

@@ -26,6 +26,7 @@
 #include "core/plan.hpp"
 #include "core/queue.hpp"
 #include "core/stage_stats.hpp"
+#include "util/budget.hpp"
 #include "util/latency.hpp"
 
 #include <atomic>
@@ -202,6 +203,10 @@ class GraphRuntime {
   std::vector<obs::Gauge*> queue_gauges_;  // indexed like queues_
 
   std::vector<std::unique_ptr<Channel>> queues_;
+  // Declared before pools_: the reservation is released only after the
+  // buffers it paid for are gone.  (Order is cosmetic — the budget is a
+  // counter — but it keeps the accounting story straight.)
+  util::BudgetReservation pool_reservation_;
   std::vector<std::vector<std::unique_ptr<Buffer>>> pools_;  // by pipeline
   std::vector<std::unique_ptr<RunWorker>> workers_;
   std::unordered_map<const Channel*, std::uint32_t> queue_index_;

@@ -153,6 +153,11 @@ void Disk::set_fault_injector(fault::Injector* inj, int node) {
   fault_node_ = node;
 }
 
+void Disk::set_write_budget(util::ByteBudget* budget) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  write_budget_ = budget;
+}
+
 void Disk::set_retry_policy(util::RetryPolicy p) {
   std::lock_guard<std::mutex> lock(config_mutex_);
   retry_policy_ = p;
@@ -352,6 +357,16 @@ std::size_t Disk::attempt_write(const File& f, std::uint64_t offset,
 void Disk::write(const File& f, std::uint64_t offset,
                  std::span<const std::byte> data) {
   if (!f.is_open()) throw std::logic_error("fg::pdm::Disk::write: closed file");
+  // Quota first, before any physical attempt: the charge covers the
+  // whole span once, no matter how many retries the transfer takes, and
+  // an overdrawn budget surfaces as QuotaExceeded (permanent — the retry
+  // loop below only absorbs TransientError).
+  util::ByteBudget* budget;
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    budget = write_budget_;
+  }
+  if (budget != nullptr) budget->charge(data.size(), "disk write");
   obs::ScopedSpan span(obs::SpanKind::kDiskWrite,
                        static_cast<std::uint32_t>(node_ < 0 ? 0 : node_),
                        data.size());

@@ -32,6 +32,7 @@
 // the current one is being consumed.
 #pragma once
 
+#include "util/budget.hpp"
 #include "util/latency.hpp"
 #include "util/retry.hpp"
 
@@ -168,6 +169,16 @@ class Disk {
   void set_node(int node) noexcept { node_ = node; }
   int node() const noexcept { return node_; }
 
+  /// Attach a write-traffic quota: every write (synchronous or async)
+  /// charges its byte count against the budget before touching the
+  /// backend and throws util::QuotaExceeded once the allowance is gone —
+  /// deliberately not a TransientError, so the retry layer propagates it
+  /// instead of spinning.  This is fgserve's per-job disk quota hook;
+  /// charges are never released (the quota bounds cumulative write
+  /// traffic, which also bounds file growth).  Pass nullptr to detach.
+  /// The budget must outlive the disk's use of it.
+  void set_write_budget(util::ByteBudget* budget);
+
   /// How read/write respond to transient failures.  The default policy
   /// (no retries) propagates every failure, which is what logic tests
   /// want; chaos runs install util::RetryPolicy::standard().
@@ -277,6 +288,7 @@ class Disk {
   fault::Injector* injector_{nullptr};
   int fault_node_{-1};
   util::RetryPolicy retry_policy_{};
+  util::ByteBudget* write_budget_{nullptr};
 
   mutable std::mutex stats_mutex_;  ///< counters below
   IoStats stats_;

@@ -62,6 +62,12 @@ class Workspace {
     }
   }
 
+  /// Attach one write-traffic budget to every disk (fgserve's per-job
+  /// disk quota); nullptr detaches.  The budget must outlive its use.
+  void set_write_budget(util::ByteBudget* budget) {
+    for (auto& d : disks_) d->set_write_budget(budget);
+  }
+
   /// Install the same retry policy on every disk.
   void set_retry_policy(util::RetryPolicy p) {
     for (auto& d : disks_) d->set_retry_policy(p);

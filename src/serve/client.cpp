@@ -1,0 +1,158 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+namespace fg::serve {
+
+Client::~Client() { abrupt_close(); }
+
+void Client::connect(std::uint16_t port, int attempts) {
+  if (fd_ >= 0) throw std::logic_error("fg::serve::Client: already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int last_errno = ECONNREFUSED;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::system_error(errno, std::generic_category(),
+                              "fg::serve::Client: socket");
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      fd_ = fd;
+      return;
+    }
+    last_errno = errno;
+    ::close(fd);
+    if (errno != ECONNREFUSED && errno != ETIMEDOUT) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  throw std::system_error(last_errno, std::generic_category(),
+                          "fg::serve::Client: connect to 127.0.0.1:" +
+                              std::to_string(port));
+}
+
+Client::Submit Client::submit(const JobSpec& spec) {
+  if (fd_ < 0) throw std::logic_error("fg::serve::Client: not connected");
+  if (!write_frame(fd_, MsgType::kSubmit, 0, spec.to_json())) {
+    throw std::runtime_error("fg::serve::Client: server hung up on submit");
+  }
+  const Frame f =
+      read_until(MsgType::kAccepted, MsgType::kRejected, 0, 10'000);
+  Submit out;
+  if (f.type == MsgType::kAccepted) {
+    out.accepted = true;
+    out.id = f.job;
+  } else {
+    const util::Json j = util::Json::parse(f.payload);
+    const util::Json* reason = j.find("reason");
+    out.reason = reason == nullptr ? "rejected" : reason->string();
+  }
+  return out;
+}
+
+JobResult Client::wait(std::uint32_t id, int timeout_ms) {
+  const auto it = results_.find(id);
+  if (it != results_.end()) {
+    JobResult r = it->second;
+    results_.erase(it);
+    return r;
+  }
+  const Frame f = read_until(MsgType::kResult, MsgType::kResult, id,
+                             timeout_ms);
+  return JobResult::from_json(util::Json::parse(f.payload));
+}
+
+std::string Client::status(std::uint32_t id, int timeout_ms) {
+  if (fd_ < 0) throw std::logic_error("fg::serve::Client: not connected");
+  if (!write_frame(fd_, MsgType::kStatus, id, "")) {
+    throw std::runtime_error("fg::serve::Client: server hung up on status");
+  }
+  return read_until(MsgType::kStatusReply, MsgType::kStatusReply, id,
+                    timeout_ms)
+      .payload;
+}
+
+std::string Client::stats(int timeout_ms) {
+  if (fd_ < 0) throw std::logic_error("fg::serve::Client: not connected");
+  if (!write_frame(fd_, MsgType::kStats, 0, "")) {
+    throw std::runtime_error("fg::serve::Client: server hung up on stats");
+  }
+  return read_until(MsgType::kStatsReply, MsgType::kStatsReply, 0, timeout_ms)
+      .payload;
+}
+
+void Client::cancel(std::uint32_t id) {
+  if (fd_ < 0) return;
+  write_frame(fd_, MsgType::kCancel, id, "");
+}
+
+void Client::bye() {
+  if (fd_ < 0) return;
+  write_frame(fd_, MsgType::kBye, 0, "");
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::abrupt_close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Frame Client::read_until(MsgType a, MsgType b, std::uint32_t job,
+                         int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      throw std::runtime_error(
+          "fg::serve::Client: timed out waiting for " +
+          std::string(to_string(a)) +
+          (job != 0 ? " of job " + std::to_string(job) : ""));
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "fg::serve::Client: poll");
+    }
+    if (pr == 0) continue;  // re-check deadline at loop head
+
+    Frame f;
+    if (!read_frame(fd_, f)) {
+      throw std::runtime_error(
+          "fg::serve::Client: connection closed by server");
+    }
+    const bool wanted =
+        (f.type == a || f.type == b) &&
+        (f.type != MsgType::kResult || job == 0 || f.job == job);
+    if (wanted) return f;
+    if (f.type == MsgType::kResult) {
+      // A push for some other in-flight job: stash it for its wait().
+      results_[f.job] = JobResult::from_json(util::Json::parse(f.payload));
+    }
+    // Anything else out of order is dropped; the protocol has no other
+    // unsolicited server pushes.
+  }
+}
+
+}  // namespace fg::serve

@@ -1,0 +1,77 @@
+// Synchronous fgserve client: one socket, one caller thread.  RESULT
+// frames the server pushes for other jobs while we wait for a specific
+// reply are stashed and handed out when their job is waited on, so a
+// client may keep many jobs in flight over one connection.
+//
+// Two ways to leave: bye() announces an orderly goodbye (jobs keep
+// running server-side), abrupt_close() drops the socket with no BYE —
+// the client-death case the server answers by cancelling the
+// connection's unfinished jobs.  The load generator uses abrupt_close()
+// as its chaos "kill a client" move.
+#pragma once
+
+#include "serve/protocol.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fg::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a server on the loopback interface, retrying
+  /// ECONNREFUSED with a short backoff (the server may still be binding
+  /// — the same bring-up race TcpFabric's dial loop tolerates).  Throws
+  /// std::system_error after `attempts` failures.
+  void connect(std::uint16_t port, int attempts = 50);
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Outcome of one SUBMIT.
+  struct Submit {
+    bool accepted{false};
+    std::uint32_t id{0};    ///< assigned job id when accepted
+    std::string reason;     ///< rejection reason otherwise
+  };
+  Submit submit(const JobSpec& spec);
+
+  /// Block until the RESULT for `id` arrives (or was already stashed).
+  /// Throws std::runtime_error if nothing arrives within `timeout_ms`
+  /// or the connection dies first.
+  JobResult wait(std::uint32_t id, int timeout_ms = 120'000);
+
+  /// True once `id`'s result is stashed locally (non-blocking poll).
+  bool has_result(std::uint32_t id) const {
+    return results_.count(id) != 0;
+  }
+
+  /// Synchronous queries.
+  std::string status(std::uint32_t id, int timeout_ms = 10'000);
+  std::string stats(int timeout_ms = 10'000);
+
+  /// Fire-and-forget cancel of job `id`.
+  void cancel(std::uint32_t id);
+
+  /// Orderly goodbye: send BYE and close.  Results not yet waited on are
+  /// forfeited; the server keeps running our jobs.
+  void bye();
+
+  /// Drop the socket with no BYE — simulated client death.
+  void abrupt_close();
+
+ private:
+  /// Read frames until one of `a`/`b` arrives, stashing RESULTs for
+  /// other jobs along the way.  Throws on timeout or connection loss.
+  Frame read_until(MsgType a, MsgType b, std::uint32_t job, int timeout_ms);
+
+  int fd_{-1};
+  std::map<std::uint32_t, JobResult> results_;
+};
+
+}  // namespace fg::serve

@@ -1,0 +1,157 @@
+// fgserve's wire protocol: the framing, message vocabulary, and the JSON
+// job-spec/result payloads shared by the server, the client library, and
+// the load generator.
+//
+// Framing follows TcpFabric's length+tag style — a fixed little-endian
+// header followed by an owned payload, read completely before any
+// interpretation, so a malformed or oversized message surfaces as a
+// ProtocolError without desynchronizing the byte stream:
+//
+//   magic   u32   "FGS1" frame sanity check
+//   type    u8    message type (below)
+//   job     u32   job id the message concerns (0 when not job-scoped)
+//   len     u32   payload bytes following the header (bounded)
+//
+// Payloads are JSON (written by util::JsonWriter, parsed by the strict
+// util::Json parser), so every message a server emits is also a blob any
+// downstream tool can inspect.
+//
+// Conversation shape: a client connects and submits jobs; the server
+// answers each SUBMIT immediately with ACCEPTED (admission) or REJECTED
+// (load shed / drain / bad spec) and later pushes one RESULT per
+// accepted job.  STATUS and STATS are synchronous queries.  BYE
+// announces an orderly goodbye: jobs submitted on the connection keep
+// running and the client just won't hear the results.  EOF *without*
+// BYE means the client died — the server cancels the connection's
+// unfinished jobs, exactly as TcpFabric treats an EOF without BYE as a
+// peer death.
+#pragma once
+
+#include "util/json.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fg::serve {
+
+/// Stream-level violation: bad magic, unknown type, oversized payload,
+/// or a truncated frame.  The connection is not recoverable past one.
+struct ProtocolError : std::runtime_error {
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class MsgType : std::uint8_t {
+  // client -> server
+  kSubmit = 0,   ///< payload: JobSpec JSON
+  kCancel = 1,   ///< cancel job `job` (idempotent; racing completion is ok)
+  kStatus = 2,   ///< query job `job`'s state
+  kStats = 3,    ///< query server-wide metrics snapshot
+  kBye = 4,      ///< orderly goodbye; EOF without this cancels my jobs
+  // server -> client
+  kAccepted = 64,     ///< job admitted; `job` carries the assigned id
+  kRejected = 65,     ///< payload: {"reason": "..."} — busy, draining, bad spec
+  kResult = 66,       ///< payload: JobResult JSON (terminal state)
+  kStatusReply = 67,  ///< payload: {"id":N,"state":"...","kind":"..."}
+  kStatsReply = 68,   ///< payload: registry snapshot JSON
+};
+
+const char* to_string(MsgType t) noexcept;
+
+/// One decoded frame.  `payload` is empty for payload-free types.
+struct Frame {
+  MsgType type{MsgType::kBye};
+  std::uint32_t job{0};
+  std::string payload;
+};
+
+/// Largest payload a well-formed peer ever sends; anything bigger is a
+/// ProtocolError (the stream cannot be trusted past it).
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+/// Read one frame.  Returns false on clean EOF at a frame boundary;
+/// throws ProtocolError on garbage or mid-frame truncation, and
+/// std::system_error-free: socket errors also surface as ProtocolError.
+bool read_frame(int fd, Frame& out);
+
+/// Write one frame (EINTR-safe, SIGPIPE-suppressed).  Returns false if
+/// the peer is gone (send failed) — callers that are pushing a result to
+/// a maybe-dead client treat that as best-effort.
+bool write_frame(int fd, MsgType type, std::uint32_t job,
+                 std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Job specs and results
+// ---------------------------------------------------------------------------
+
+/// What a client asks the server to run.  Three kinds:
+///
+///  * "sort"     — dsort on an in-process SimCluster over a fresh
+///                 per-job workspace; output byte-verified server-side.
+///  * "permute"  — out-of-core cyclic-shift permutation, verified.
+///  * "pipeline" — a generic single-node pipeline plan: `stages` map
+///                 stages over `rounds` buffer rounds with a checksum
+///                 verified at the tail stage.  The knobs below make it
+///                 the serving testbed: per-buffer busy time, a stage
+///                 that stalls until aborted, fault injection.
+struct JobSpec {
+  std::string kind{"pipeline"};
+  std::uint64_t records{4096};    ///< sort/permute dataset size
+  std::uint32_t record_bytes{16};
+  int nodes{2};                   ///< simulated cluster size (sort/permute)
+  std::uint64_t seed{1};
+
+  // pipeline-kind shape
+  std::uint32_t stages{3};
+  std::uint64_t rounds{16};
+  std::size_t buffer_bytes{4096};
+  std::size_t num_buffers{4};
+  std::uint32_t work_us{0};   ///< sleep per buffer per stage (drag knob)
+  std::int32_t stall_stage{-1};  ///< this stage blocks until aborted (< 0 off)
+
+  /// Fault spec armed on the *job's own* injector (util/fault.hpp
+  /// grammar) — the containment boundary fgserve exists to prove.
+  std::string fault_spec;
+
+  /// Stall watchdog for the job's graphs; 0 = server default.
+  std::uint32_t watchdog_ms{0};
+
+  /// Per-job quota requests; 0 = server default.  A request above the
+  /// server's configured quota is clamped down, never up.
+  std::uint64_t pool_quota_bytes{0};
+  std::uint64_t disk_quota_bytes{0};
+
+  std::string to_json() const;
+  /// Throws std::invalid_argument on unknown kind or out-of-range
+  /// values; unknown keys are ignored (forward compatibility).
+  static JobSpec from_json(const util::Json& j);
+};
+
+/// Terminal job states (plus the two live ones reported by STATUS).
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kFailed,
+  kCancelled,
+};
+
+const char* to_string(JobState s) noexcept;
+
+/// What the server reports when a job reaches a terminal state.
+struct JobResult {
+  std::uint32_t id{0};
+  std::string kind;
+  JobState state{JobState::kFailed};
+  std::string error;      ///< first failure, verbatim (empty if completed)
+  bool verified{false};   ///< output byte-verified (sort/permute/pipeline)
+  bool audit_ok{true};    ///< every pipeline buffer accounted after teardown
+  std::uint64_t records{0};
+  double seconds{0.0};        ///< execution wall time
+  double queue_seconds{0.0};  ///< admission-to-start wait
+
+  std::string to_json() const;
+  static JobResult from_json(const util::Json& j);
+};
+
+}  // namespace fg::serve

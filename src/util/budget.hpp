@@ -1,0 +1,128 @@
+// Byte budgets: the enforcement primitive behind fgserve's per-job
+// resource quotas.
+//
+// A ByteBudget is a named, thread-safe allowance of bytes.  Layers that
+// allocate on behalf of a job — the runtime's buffer pools, a disk's
+// write path — charge the budget at allocation time and get a
+// QuotaExceeded throw the moment the allowance would be overdrawn, so a
+// runaway job fails at the point of acquisition instead of dragging the
+// whole process into swap or filling the disk.  A budget with limit 0 is
+// unlimited (every charge succeeds); that is the default everywhere, so
+// standalone runs (fgsort, the tests) pay nothing.
+//
+// Charges are a single CAS loop on one atomic; release() never blocks.
+// The budget object must outlive every layer holding a pointer to it —
+// in fgserve each job owns its budgets for exactly the job's lifetime
+// and detaches them from the substrate before teardown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fg::util {
+
+/// Thrown by ByteBudget::charge when the allowance would be overdrawn.
+/// Deliberately NOT a fault::TransientError: retry layers must propagate
+/// it (retrying cannot make a quota bigger).
+struct QuotaExceeded : std::runtime_error {
+  explicit QuotaExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteBudget {
+ public:
+  /// @param name   human-readable budget name for QuotaExceeded messages
+  ///               (e.g. "job 12 buffer-pool quota")
+  /// @param limit  allowance in bytes; 0 = unlimited
+  explicit ByteBudget(std::string name, std::uint64_t limit)
+      : name_(std::move(name)), limit_(limit) {}
+
+  ByteBudget(const ByteBudget&) = delete;
+  ByteBudget& operator=(const ByteBudget&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t limit() const noexcept { return limit_; }
+  std::uint64_t used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+
+  /// Try to acquire `n` bytes; returns false (leaving the budget
+  /// untouched) if that would exceed the limit.
+  bool try_charge(std::uint64_t n) noexcept {
+    if (limit_ == 0) {
+      used_.fetch_add(n, std::memory_order_relaxed);
+      return true;
+    }
+    std::uint64_t cur = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur + n > limit_) return false;
+      if (used_.compare_exchange_weak(cur, cur + n,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Acquire `n` bytes or throw QuotaExceeded naming the budget, the
+  /// request, and the current usage.  `what` names the requester (e.g.
+  /// "buffer pool", "disk write").
+  void charge(std::uint64_t n, const char* what) {
+    if (try_charge(n)) return;
+    throw QuotaExceeded("fg::util::ByteBudget: " + name_ + " exceeded by " +
+                        what + ": requested " + std::to_string(n) +
+                        " bytes with " + std::to_string(used()) + " of " +
+                        std::to_string(limit_) + " already used");
+  }
+
+  /// Return `n` bytes to the allowance.
+  void release(std::uint64_t n) noexcept {
+    used_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t limit_;
+  std::atomic<std::uint64_t> used_{0};
+};
+
+/// RAII charge: releases what was charged when destroyed.  Movable so a
+/// runtime can hold its pool reservation as a member; a default-
+/// constructed reservation (no budget) is a no-op.
+class BudgetReservation {
+ public:
+  BudgetReservation() = default;
+  /// Charge `n` bytes against `budget` (throws QuotaExceeded); a null
+  /// budget reserves nothing.
+  BudgetReservation(ByteBudget* budget, std::uint64_t n, const char* what)
+      : budget_(budget), bytes_(n) {
+    if (budget_ != nullptr) budget_->charge(n, what);
+  }
+  ~BudgetReservation() {
+    if (budget_ != nullptr) budget_->release(bytes_);
+  }
+
+  BudgetReservation(BudgetReservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  BudgetReservation& operator=(BudgetReservation&& other) noexcept {
+    if (this != &other) {
+      if (budget_ != nullptr) budget_->release(bytes_);
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  ByteBudget* budget_{nullptr};
+  std::uint64_t bytes_{0};
+};
+
+}  // namespace fg::util

@@ -13,11 +13,14 @@
 // different (still deterministic) schedule; the CI soak loops over ten.
 #include "comm/cluster.hpp"
 #include "core/fg.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sort/csort.hpp"
 #include "sort/dataset.hpp"
 #include "sort/dsort.hpp"
 #include "util/fault.hpp"
 #include "util/retry.hpp"
+#include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
@@ -462,6 +465,99 @@ TEST(ChaosExecutor, WatchdogNamesStalledWorkersUnderTasks) {
   for (const BufferAudit& a : g.audit_buffers()) {
     EXPECT_EQ(a.accounted(), a.pool);
   }
+}
+
+// -- the serving layer under tenant chaos -----------------------------------
+
+// Soak fgserve's isolation boundary: faulting, stalling, and cancelled
+// tenants interleave with healthy ones on a shared two-slot pool, plus
+// one client that dies mid-job.  The server must classify every outcome
+// correctly, keep full buffer custody (zero audit failures), and still
+// drain to a clean exit — under TSan this is also the data-race soak
+// for the whole serve stack.
+TEST(ChaosServe, FaultingTenantsSoakOnSharedPool) {
+  serve::ServerOptions opts;
+  opts.port = 0;
+  opts.max_running = 2;
+  opts.max_queued = 16;
+  opts.watchdog_ms = 60'000;
+  opts.drain_deadline_ms = 60'000;
+  serve::Server server(opts);
+  server.start();
+
+  util::SplitMix64 rng(chaos_seed());
+  serve::Client c;
+  c.connect(server.port());
+
+  auto spec_for = [&](int i) {
+    serve::JobSpec s;
+    s.kind = "pipeline";
+    s.stages = 4;
+    s.rounds = 24;
+    s.buffer_bytes = 4096;
+    s.num_buffers = 4;
+    s.seed = (rng.next() & ((1ull << 53) - 1)) | 1;
+    switch (i % 4) {
+      case 1:  // a tenant whose stage throws mid-run
+        s.fault_spec = "stage.throw=once:" + std::to_string(3 + i % 5);
+        break;
+      case 3:  // a tenant that wedges and gets cancelled below
+        s.stall_stage = 2;
+        break;
+      default:  // healthy
+        break;
+    }
+    return s;
+  };
+
+  constexpr int kJobs = 16;
+  std::vector<serve::Client::Submit> subs;
+  for (int i = 0; i < kJobs; ++i) {
+    serve::Client::Submit sub = c.submit(spec_for(i));
+    ASSERT_TRUE(sub.accepted) << sub.reason;
+    subs.push_back(sub);
+    if (i % 4 == 3) c.cancel(sub.id);  // the staller never finishes alone
+  }
+
+  // One extra tenant on its own connection dies without BYE while its
+  // stalled job runs; the server must cancel the orphan.
+  serve::Client doomed;
+  doomed.connect(server.port());
+  serve::JobSpec orphan_spec = spec_for(3);
+  const serve::Client::Submit orphan = doomed.submit(orphan_spec);
+  ASSERT_TRUE(orphan.accepted);
+  doomed.abrupt_close();
+
+  int completed = 0, failed = 0, cancelled = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    const serve::JobResult r = c.wait(subs[static_cast<std::size_t>(i)].id);
+    EXPECT_TRUE(r.audit_ok) << "job " << r.id << " leaked buffers";
+    switch (i % 4) {
+      case 1:
+        EXPECT_EQ(r.state, serve::JobState::kFailed) << r.error;
+        ++failed;
+        break;
+      case 3:
+        EXPECT_EQ(r.state, serve::JobState::kCancelled);
+        ++cancelled;
+        break;
+      default:
+        EXPECT_EQ(r.state, serve::JobState::kCompleted) << r.error;
+        EXPECT_TRUE(r.verified);
+        ++completed;
+        break;
+    }
+  }
+  EXPECT_EQ(completed, 8);
+  EXPECT_EQ(failed, 4);
+  EXPECT_EQ(cancelled, 4);
+  c.bye();
+
+  // Clean drain despite everything above; the orphan was cancelled too.
+  EXPECT_EQ(server.wait(), 0);
+  EXPECT_EQ(server.registry().counter_value("serve.audit.failures"), 0u);
+  EXPECT_GE(server.registry().counter_value("serve.clients.died"), 1u);
+  EXPECT_GE(server.registry().counter_value("serve.jobs.cancelled"), 5u);
 }
 
 // -- determinism and the spec grammar ---------------------------------------

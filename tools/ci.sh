@@ -132,6 +132,49 @@ grep -q '"executor":"tasks"' "$ex_dir/stats.json"
 rm -rf "$ex_dir"
 echo "==> wrote BENCH_queue_hop.json (spsc beats mpmc; tasks smoke ok)"
 
+# Serving gate: bring up a real fgserve, drive it with the closed-loop
+# load generator twice — a clean pass (every job must complete and
+# byte-verify; its numbers become BENCH_serve.json) and a chaos pass
+# (injected tenant faults plus abrupt client kills; faulted jobs must
+# FAIL alone, nothing else may be disturbed, zero buffer-audit
+# failures) — then SIGTERM the server.  The contract under test: the
+# server never exits abnormally, and the drain path exits 0 with the
+# final registry stats flushed.
+echo "==> fgserve load + chaos gate"
+srv_dir="$root/build-ci-release/serve-check"
+rm -rf "$srv_dir"
+mkdir -p "$srv_dir"
+"$root/build-ci-release/tools/fgserve" --port 0 --slots 4 --queue 16 \
+  --root "$srv_dir/ws" --port-file "$srv_dir/port.txt" \
+  2> "$srv_dir/server.log" &
+srv_pid=$!
+for i in $(seq 1 100); do
+  test -s "$srv_dir/port.txt" && break
+  kill -0 "$srv_pid" 2>/dev/null || { cat "$srv_dir/server.log"; exit 1; }
+  sleep 0.1
+done
+srv_port=$(cat "$srv_dir/port.txt")
+echo "==> fgserve up on port $srv_port (pid $srv_pid)"
+"$root/build-ci-release/tools/fgserve_load" --port "$srv_port" \
+  --clients 4 --jobs 6 --kinds pipeline,sort,permute \
+  --json "$root/BENCH_serve.json"
+echo "==> serve chaos pass (tenant faults + client kills)"
+"$root/build-ci-release/tools/fgserve_load" --port "$srv_port" \
+  --clients 4 --jobs 6 --kinds pipeline,sort,permute \
+  --fault-rate 0.3 --kill-rate 0.15 --seed 7
+kill -TERM "$srv_pid"
+srv_rc=0
+wait "$srv_pid" || srv_rc=$?
+if [ "$srv_rc" -ne 0 ]; then
+  echo "fgserve exited $srv_rc (want 0 after SIGTERM drain)"
+  cat "$srv_dir/server.log"
+  exit 1
+fi
+grep -q 'final stats' "$srv_dir/server.log"
+grep -q '"bench":"serve"' "$root/BENCH_serve.json"
+rm -rf "$srv_dir"
+echo "==> wrote BENCH_serve.json (server drained clean, exit 0)"
+
 # Chaos soak: replay the fault-injection suite under TSan with ten
 # distinct seeds.  Injection schedules are a pure function of the seed,
 # so each iteration exercises a different (but reproducible) failure

@@ -38,6 +38,23 @@
 
 namespace {
 
+// SIGINT/SIGTERM land here; the wait loop notices and forwards the
+// signal to every live rank, so ^C on fgnode (or a SIGTERM from a
+// supervisor) drains the whole process tree instead of orphaning the
+// children.  Handler writes only a sig_atomic_t.
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: waitpid polling must see EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: fgnode --nodes N [--base-port P] [--host H]\n"
@@ -102,6 +119,8 @@ int main(int argc, char** argv) {
     peers += host + ":" + std::to_string(base_port + r);
   }
 
+  install_signal_handlers();
+
   std::vector<pid_t> pids(static_cast<std::size_t>(nodes), -1);
   for (int r = 0; r < nodes; ++r) {
     // Build this rank's argv before forking: no allocation between fork
@@ -143,7 +162,30 @@ int main(int argc, char** argv) {
   int waited_ms = 0;
   const int budget_ms = timeout_secs * 1000;
   bool killed = false;
+  int forwarded = 0;     // signal already passed on to the children
+  int forwarded_ms = 0;  // when, for the SIGKILL escalation below
   while (remaining > 0) {
+    if (g_signal != 0 && forwarded == 0) {
+      forwarded = g_signal;
+      forwarded_ms = waited_ms;
+      std::fprintf(stderr,
+                   "fgnode: got signal %d, forwarding to %d rank(s)\n",
+                   forwarded, remaining);
+      for (pid_t p : pids) {
+        if (p > 0) ::kill(p, forwarded);
+      }
+      killed = true;  // children are already coming down; don't re-kill
+      exit_code = 128 + forwarded;
+    }
+    if (forwarded != 0 && waited_ms - forwarded_ms >= 10'000) {
+      // A rank ignored the forwarded signal for 10 s; stop waiting.
+      std::fprintf(stderr, "fgnode: escalating to SIGKILL for %d "
+                   "remaining rank(s)\n", remaining);
+      for (pid_t p : pids) {
+        if (p > 0) ::kill(p, SIGKILL);
+      }
+      forwarded_ms = waited_ms + budget_ms;  // don't escalate twice
+    }
     int status = 0;
     const pid_t done = ::waitpid(-1, &status, WNOHANG);
     if (done == 0) {
@@ -171,7 +213,10 @@ int main(int argc, char** argv) {
       if (pids[static_cast<std::size_t>(r)] == done) rank = r;
     }
     const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-    if (!ok) {
+    // After a forwarded signal, a child dying to that signal (or exiting
+    // nonzero while shutting down) is the expected outcome, not a rank
+    // failure to report or escalate on.
+    if (!ok && forwarded == 0) {
       if (WIFSIGNALED(status)) {
         std::fprintf(stderr, "fgnode: rank %d (pid %d) killed by signal %d\n",
                      rank, static_cast<int>(done), WTERMSIG(status));
