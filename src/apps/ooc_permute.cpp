@@ -64,7 +64,8 @@ PermuteResult run_permute(comm::Cluster& cluster, pdm::Workspace& ws,
       const std::uint64_t g0 = next_block * cfg.block_records;
       const std::uint64_t n =
           std::min<std::uint64_t>(cfg.block_records, cfg.records - g0);
-      disk.read(input, layout.local_byte_offset(g0), b.data().first(n * rec));
+      disk.read_exact(input, layout.local_byte_offset(g0),
+                      b.data().first(n * rec));
       b.set_size(n * rec);
       b.set_tag(g0);
       next_block += static_cast<std::uint64_t>(p);

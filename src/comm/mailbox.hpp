@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstring>
+#include <functional>
 #include <list>
 #include <mutex>
 
@@ -34,6 +35,13 @@ class Mailbox {
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Where spent payload vectors go after take() copies them out — the
+  /// fabric's receive pool, so frame buffers are recycled instead of
+  /// freed and reallocated per message.  Install once, before any
+  /// receiver thread runs (read without the lock afterwards).
+  using Recycler = std::function<void(std::vector<std::byte>&&)>;
+  void set_recycler(Recycler r) { recycler_ = std::move(r); }
 
   /// Enqueue a message and wake matching receivers.  Delivery is clamped
   /// to be non-overtaking per source channel, like MPI: a message may not
@@ -94,7 +102,12 @@ class Mailbox {
           }
           RecvResult r{best->src, best->tag, best->payload.size()};
           std::memcpy(out.data(), best->payload.data(), best->payload.size());
+          std::vector<std::byte> spent = std::move(best->payload);
           messages_.erase(best);
+          if (recycler_) {
+            lock.unlock();  // the pool has its own (leaf) lock
+            recycler_(std::move(spent));
+          }
           return r;
         }
         if (bounded && now >= expiry) throw timed_out();
@@ -155,6 +168,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::list<Message> messages_;
   bool aborted_{false};
+  Recycler recycler_;  ///< set before threads, immutable afterwards
 };
 
 }  // namespace fg::comm

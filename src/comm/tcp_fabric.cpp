@@ -1,5 +1,6 @@
 #include "comm/tcp_fabric.hpp"
 
+#include "util/log.hpp"
 #include "util/parse.hpp"
 
 #include <arpa/inet.h>
@@ -55,43 +56,6 @@ std::uint64_t get_u64(const std::byte* p) {
   return v;
 }
 
-/// Read exactly `len` bytes.  Returns 1 on success, 0 on clean EOF at a
-/// frame boundary, -1 on error or truncated stream.
-int read_full(int fd, std::byte* buf, std::size_t len) {
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
-    if (n == 0) return got == 0 ? 0 : -1;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return 1;
-}
-
-/// Write exactly `len` bytes; returns false on any error (e.g. EPIPE once
-/// the peer is gone).  MSG_NOSIGNAL keeps a dead peer from killing the
-/// process with SIGPIPE.
-bool write_full(int fd, const std::byte* buf, std::size_t len) {
-  std::size_t put = 0;
-  while (put < len) {
-    const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    put += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-void set_nodelay(int fd) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-}
-
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("fg::comm::TcpFabric: " + what + ": " +
                            std::strerror(errno));
@@ -128,10 +92,16 @@ TcpFabric::TcpFabric(int nodes, NodeId rank, std::uint16_t listen_port,
   peers_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) peers_.push_back(std::make_unique<Peer>());
 
+  // Spent receive payloads flow back into the frame pool instead of the
+  // allocator; installed before connect() so no receiver thread races it.
+  mailbox_.set_recycler(
+      [this](std::vector<std::byte>&& v) { pool_.release(std::move(v)); });
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket");
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  net::setsockopt_warn(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one,
+                       "SO_REUSEADDR");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
@@ -207,9 +177,10 @@ void TcpFabric::connect(const std::vector<TcpEndpoint>& peers) {
         }
         // Bound the hello read so a stray connection cannot wedge us.
         timeval tv{1, 0};
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        net::setsockopt_warn(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv,
+                             "SO_RCVTIMEO");
         std::byte hello[kHelloBytes];
-        const bool ok = read_full(fd, hello, kHelloBytes) == 1 &&
+        const bool ok = net::read_full(fd, hello, kHelloBytes).ok() &&
                         get_u32(hello) == kHelloMagic;
         const NodeId who =
             ok ? static_cast<NodeId>(
@@ -221,8 +192,9 @@ void TcpFabric::connect(const std::vector<TcpEndpoint>& peers) {
           continue;
         }
         timeval off{0, 0};
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &off, sizeof off);
-        set_nodelay(fd);
+        net::setsockopt_warn(fd, SOL_SOCKET, SO_RCVTIMEO, &off, sizeof off,
+                             "SO_RCVTIMEO(off)");
+        net::set_nodelay(fd);
         {
           std::lock_guard<std::mutex> lock(connect_mutex_);
           peers_[static_cast<std::size_t>(who)]->fd = fd;
@@ -294,11 +266,11 @@ void TcpFabric::connect(const std::vector<TcpEndpoint>& peers) {
           " could not reach rank " + std::to_string(n) + " at " + host + ":" +
           std::to_string(ep.port) + " (" + std::strerror(dial_errno) + ")");
     }
-    set_nodelay(fd);
+    net::set_nodelay(fd);
     std::byte hello[kHelloBytes];
     put_u32(hello, kHelloMagic);
     put_u32(hello + 4, static_cast<std::uint32_t>(rank_));
-    if (!write_full(fd, hello, kHelloBytes)) {
+    if (!net::write_full(fd, hello, kHelloBytes)) {
       ::close(fd);
       shutting_down_.store(true, std::memory_order_relaxed);
       if (accept_thread_.joinable()) accept_thread_.join();
@@ -355,8 +327,14 @@ void TcpFabric::write_frame(NodeId dst, std::uint8_t type, int tag,
   put_u32(hdr + 9, p.send_seq++);
   put_u64(hdr + 13, payload.size());
   put_u64(hdr + 21, delay_ns);
-  if (!write_full(p.fd, hdr, kHeaderBytes) ||
-      !write_full(p.fd, payload.data(), payload.size())) {
+  // Header and payload leave in one sendmsg: one syscall per frame, and
+  // the kernel sees the full frame at once instead of a 25-byte header
+  // write followed by the payload.
+  iovec iov[2] = {
+      {hdr, kHeaderBytes},
+      {const_cast<std::byte*>(payload.data()), payload.size()},
+  };
+  if (!net::write_full_vec(p.fd, iov, payload.empty() ? 1 : 2)) {
     if (best_effort) return;
     // The peer's socket is gone mid-run: treat it as a cluster failure so
     // everyone (including this process) unwinds.
@@ -371,16 +349,23 @@ void TcpFabric::receiver_loop(NodeId peer) {
   bool bye = false;
   for (;;) {
     std::byte hdr[kHeaderBytes];
-    const int hr = read_full(p.fd, hdr, kHeaderBytes);
-    if (hr <= 0) {
+    const net::ReadOutcome hr = net::read_full(p.fd, hdr, kHeaderBytes);
+    if (!hr.ok()) {
       // EOF after BYE (or during our own teardown/abort) is an orderly
-      // close; anything else means the peer process died mid-run.
-      if (hr == 0 && (bye || shutting_down_.load(std::memory_order_relaxed) ||
-                      aborted())) {
+      // close; anything else means the peer process died mid-run — and
+      // the diagnostic says how: EOF at a frame boundary, EOF inside a
+      // header, or a socket error with its errno.
+      if (hr.status == net::ReadStatus::kClosed &&
+          (bye || shutting_down_.load(std::memory_order_relaxed) ||
+           aborted())) {
         return;
       }
       if (shutting_down_.load(std::memory_order_relaxed) || aborted()) return;
-      abort_from_peer();
+      abort_from_peer("rank " + std::to_string(peer) + ": " +
+                      net::describe(hr) +
+                      (hr.status == net::ReadStatus::kClosedMidRead
+                           ? " (died inside a frame header)"
+                           : ""));
       return;
     }
     if (get_u32(hdr) != kFrameMagic) {
@@ -392,10 +377,22 @@ void TcpFabric::receiver_loop(NodeId peer) {
     const std::uint32_t seq = get_u32(hdr + 9);
     const std::uint64_t len = get_u64(hdr + 13);
     const std::uint64_t delay_ns = get_u64(hdr + 21);
-    std::vector<std::byte> payload(len);
-    if (len > 0 && read_full(p.fd, payload.data(), len) != 1) {
-      if (!shutting_down_.load(std::memory_order_relaxed)) abort_from_peer();
-      return;
+    // The header's length is the size hint: the payload lands directly in
+    // a recycled pool buffer, not a fresh allocation per frame.
+    std::vector<std::byte> payload = pool_.acquire(len);
+    if (len > 0) {
+      const net::ReadOutcome pr = net::read_full(p.fd, payload.data(), len);
+      if (!pr.ok()) {
+        if (!shutting_down_.load(std::memory_order_relaxed)) {
+          abort_from_peer(
+              "rank " + std::to_string(peer) + ": " + net::describe(pr) +
+              (pr.status == net::ReadStatus::kError
+                   ? ""
+                   : " (died mid-payload, " + std::to_string(len) +
+                         "-byte frame truncated)"));
+        }
+        return;
+      }
     }
     switch (type) {
       case kFrameData: {
@@ -411,10 +408,16 @@ void TcpFabric::receiver_loop(NodeId peer) {
         break;
       }
       case kFrameAbort:
-        abort_from_peer();
+        // A deliberate ABORT frame is orderly teardown, not a wire
+        // failure — record it, but don't warn.
+        abort_from_peer("rank " + std::to_string(peer) +
+                            " broadcast an abort",
+                        /*warn=*/false);
+        pool_.release(std::move(payload));
         break;  // keep draining until the peer closes
       case kFrameBye:
         bye = true;
+        pool_.release(std::move(payload));
         break;
       default:
         abort();
@@ -423,11 +426,24 @@ void TcpFabric::receiver_loop(NodeId peer) {
   }
 }
 
-void TcpFabric::abort_from_peer() {
+void TcpFabric::abort_from_peer(std::string detail, bool warn) {
   // The peer that originated the abort already told everyone else (or, if
   // it died, everyone sees the EOF themselves) — no re-broadcast.
+  {
+    std::lock_guard<std::mutex> lock(detail_mutex_);
+    if (abort_detail_.empty()) abort_detail_ = detail;
+  }
+  if (warn) {
+    FG_LOG(kWarn) << "fg::comm::TcpFabric[rank " << rank_
+                  << "]: aborting run: " << detail;
+  }
   mark_aborted();
   mailbox_.abort();
+}
+
+std::string TcpFabric::abort_detail() const {
+  std::lock_guard<std::mutex> lock(detail_mutex_);
+  return abort_detail_;
 }
 
 void TcpFabric::abort() {
@@ -483,8 +499,9 @@ void TcpFabric::send_message(NodeId src, NodeId dst, int tag,
       std::chrono::duration_cast<std::chrono::nanoseconds>(extra_delay)
           .count());
   if (dst == rank_) {
-    mailbox_.deposit(src, tag,
-                     std::vector<std::byte>(data.begin(), data.end()),
+    std::vector<std::byte> payload = pool_.acquire(data.size());
+    if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size());
+    mailbox_.deposit(src, tag, std::move(payload),
                      util::Clock::now() + extra_delay);
     return;
   }

@@ -31,6 +31,7 @@
 
 #include "comm/fabric.hpp"
 #include "comm/mailbox.hpp"
+#include "comm/net_io.hpp"
 
 #include <chrono>
 #include <condition_variable>
@@ -84,6 +85,17 @@ class TcpFabric final : public Fabric {
   /// so their blocked calls unwind too.
   void abort() override;
 
+  /// Why the receive side aborted the run, when it did: distinguishes a
+  /// peer that died mid-frame (EOF inside a frame) from a socket error
+  /// (errno text) from a corrupt stream.  Empty if no receive-side abort
+  /// happened.  First cause wins.
+  std::string abort_detail() const;
+
+  /// How many receive payloads were served from the recycled frame pool
+  /// instead of a fresh allocation (observability for the zero-copy-ish
+  /// receive path).
+  std::uint64_t recv_pool_reuses() const { return pool_.reuses(); }
+
  protected:
   void send_message(NodeId src, NodeId dst, int tag,
                     std::span<const std::byte> data,
@@ -108,12 +120,18 @@ class TcpFabric final : public Fabric {
                    std::uint64_t delay_ns, bool best_effort);
   void receiver_loop(NodeId peer);
   /// An abort arrived from (or was detected about) a peer: abort locally
-  /// without re-broadcasting.
-  void abort_from_peer();
+  /// without re-broadcasting.  `detail` records what the wire actually
+  /// showed (peer death mid-frame vs socket error) for diagnostics;
+  /// `warn` logs it (wire failures warn, deliberate ABORT frames don't).
+  void abort_from_peer(std::string detail, bool warn = true);
 
   NodeId rank_;
   TcpFabricOptions options_;
   Mailbox mailbox_;
+  net::PayloadPool pool_;  ///< recycled receive-frame payloads
+
+  mutable std::mutex detail_mutex_;
+  std::string abort_detail_;  ///< first receive-side abort cause
 
   int listen_fd_{-1};
   std::uint16_t listen_port_{0};

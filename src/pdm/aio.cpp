@@ -1,11 +1,48 @@
 #include "pdm/aio.hpp"
 
+#include "pdm/uring_disk.hpp"
 #include "util/log.hpp"
 
 #include <cstring>
+#include <new>
 #include <stdexcept>
 
 namespace fg::pdm {
+
+namespace detail {
+
+PageAlignedBytes alloc_page_aligned(std::size_t n) {
+  if (n == 0) return PageAlignedBytes{};
+  return PageAlignedBytes(static_cast<std::byte*>(
+      ::operator new[](n, std::align_val_t{4096})));
+}
+
+}  // namespace detail
+
+namespace {
+
+// Pin every slot buffer as an io_uring registered buffer if the disk is
+// a UringDisk; the helper owns the memory for exactly the pin lifetime,
+// which is the stability the registration requires.
+template <typename Slots>
+UringDisk* pin_slots(Disk& disk, Slots& slots, std::size_t slot_bytes) {
+  auto* uring = dynamic_cast<UringDisk*>(&disk);
+  if (uring == nullptr || slot_bytes == 0) return nullptr;
+  bool any = false;
+  for (auto& s : slots) {
+    any = uring->pin_buffer({s.buf.get(), slot_bytes}) || any;
+  }
+  return any ? uring : nullptr;
+}
+
+template <typename Slots>
+void unpin_slots(UringDisk* uring, Slots& slots,
+                 std::size_t slot_bytes) noexcept {
+  if (uring == nullptr) return;
+  for (auto& s : slots) uring->unpin_buffer({s.buf.get(), slot_bytes});
+}
+
+}  // namespace
 
 // -- ReadAhead --------------------------------------------------------------
 
@@ -17,8 +54,9 @@ ReadAhead::ReadAhead(Disk& disk, const File& f, std::size_t slot_bytes,
   }
   slots_.resize(static_cast<std::size_t>(depth));
   for (auto& s : slots_) {
-    s.buf = std::make_unique<std::byte[]>(slot_bytes_);
+    s.buf = detail::alloc_page_aligned(slot_bytes_);
   }
+  pinning_ = pin_slots(disk_, slots_, slot_bytes_);
   for (int i = 0; i < depth; ++i) prime_one();
 }
 
@@ -35,6 +73,7 @@ ReadAhead::~ReadAhead() {
                     << file_.name() << " failed: " << e.what();
     }
   }
+  unpin_slots(pinning_, slots_, slot_bytes_);
 }
 
 void ReadAhead::prime_one() {
@@ -50,6 +89,7 @@ void ReadAhead::prime_one() {
   if (bytes > slot_bytes_) {
     throw std::logic_error("fg::pdm::ReadAhead: plan exceeds slot capacity");
   }
+  s.planned_offset = offset;
   s.planned = bytes;
   s.handle = disk_.read_async(file_, offset, {s.buf.get(), bytes});
   s.in_flight = true;
@@ -67,6 +107,11 @@ std::size_t ReadAhead::next(std::span<std::byte> dest) {
     throw;
   }
   s.in_flight = false;
+  if (n < s.planned) {
+    // The plan was derived from known file sizes; the file ending early
+    // is corruption or a layout bug, not a condition to paper over.
+    throw ShortReadError(file_.name(), s.planned_offset, s.planned, n);
+  }
   if (n > dest.size()) {
     throw std::logic_error(
         "fg::pdm::ReadAhead: destination smaller than the planned read");
@@ -87,8 +132,9 @@ WriteBehind::WriteBehind(Disk& disk, const File& f, std::size_t slot_bytes,
   }
   slots_.resize(static_cast<std::size_t>(depth));
   for (auto& s : slots_) {
-    s.buf = std::make_unique<std::byte[]>(slot_bytes_);
+    s.buf = detail::alloc_page_aligned(slot_bytes_);
   }
+  pinning_ = pin_slots(disk_, slots_, slot_bytes_);
 }
 
 WriteBehind::~WriteBehind() {
@@ -106,6 +152,7 @@ WriteBehind::~WriteBehind() {
     }
     s.handles.clear();
   }
+  unpin_slots(pinning_, slots_, slot_bytes_);
 }
 
 void WriteBehind::reap(Slot& s) {

@@ -20,6 +20,10 @@
 // through the synchronous read/write paths underneath — fault injection,
 // retry absorption, stats, and trace spans all behave exactly as if the
 // stage had called read/write itself; only the overlap changes.
+//
+// Staging slots are page-aligned and live exactly as long as the helper,
+// so on a UringDisk they are pinned as io_uring registered buffers for
+// the helper's lifetime and the transfers use the _FIXED opcodes.
 #pragma once
 
 #include "pdm/disk.hpp"
@@ -28,6 +32,20 @@
 #include <initializer_list>
 
 namespace fg::pdm {
+
+class UringDisk;
+
+namespace detail {
+/// Page-aligned staging memory: O_DIRECT-compatible and pinnable as an
+/// io_uring registered buffer.
+struct PageAlignedDelete {
+  void operator()(std::byte* p) const noexcept {
+    ::operator delete[](p, std::align_val_t{4096});
+  }
+};
+using PageAlignedBytes = std::unique_ptr<std::byte[], PageAlignedDelete>;
+PageAlignedBytes alloc_page_aligned(std::size_t n);
+}  // namespace detail
 
 class ReadAhead {
  public:
@@ -49,13 +67,17 @@ class ReadAhead {
   /// Block for the next planned read, copy its bytes into `dest`, and
   /// top the window back up.  Returns bytes delivered; 0 once the plan
   /// is exhausted.  Rethrows the read's failure (post-retry), like the
-  /// synchronous read the caller replaced.
+  /// synchronous read the caller replaced.  A read that comes back
+  /// shorter than its plan asked for means the file ends before the
+  /// planned layout does — that throws ShortReadError rather than
+  /// handing the caller a buffer of garbage tail bytes.
   std::size_t next(std::span<std::byte> dest);
 
  private:
   struct Slot {
-    std::unique_ptr<std::byte[]> buf;
+    detail::PageAlignedBytes buf;
     IoHandle handle;
+    std::uint64_t planned_offset{0};
     std::size_t planned{0};
     bool in_flight{false};
   };
@@ -66,6 +88,7 @@ class ReadAhead {
   std::size_t slot_bytes_;
   Plan plan_;
   std::vector<Slot> slots_;
+  UringDisk* pinning_{nullptr};  ///< set when the slots are pinned
   std::uint64_t next_plan_{0};
   std::uint64_t next_take_{0};
   bool exhausted_{false};
@@ -108,7 +131,7 @@ class WriteBehind {
 
  private:
   struct Slot {
-    std::unique_ptr<std::byte[]> buf;
+    detail::PageAlignedBytes buf;
     std::vector<IoHandle> handles;
   };
   void reap(Slot& s);
@@ -117,6 +140,7 @@ class WriteBehind {
   const File& file_;
   std::size_t slot_bytes_;
   std::vector<Slot> slots_;
+  UringDisk* pinning_{nullptr};  ///< set when the slots are pinned
   std::size_t cur_{0};
 };
 

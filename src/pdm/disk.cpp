@@ -3,6 +3,7 @@
 #include "obs/span.hpp"
 #include "pdm/native_disk.hpp"
 #include "pdm/stdio_disk.hpp"
+#include "pdm/uring_disk.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
@@ -16,6 +17,7 @@ const char* to_string(DiskBackend b) noexcept {
   switch (b) {
     case DiskBackend::kStdio: return "stdio";
     case DiskBackend::kNative: return "native";
+    case DiskBackend::kUring: return "uring";
   }
   return "?";
 }
@@ -23,9 +25,10 @@ const char* to_string(DiskBackend b) noexcept {
 DiskBackend parse_disk_backend(const std::string& name) {
   if (name == "stdio") return DiskBackend::kStdio;
   if (name == "native") return DiskBackend::kNative;
+  if (name == "uring") return DiskBackend::kUring;
   throw std::invalid_argument(
-      "fg::pdm::parse_disk_backend: expected stdio|native, got '" + name +
-      "'");
+      "fg::pdm::parse_disk_backend: expected stdio|native|uring, got '" +
+      name + "'");
 }
 
 std::unique_ptr<Disk> make_disk(DiskBackend backend, std::filesystem::path dir,
@@ -46,9 +49,35 @@ std::unique_ptr<Disk> make_disk(DiskBackend backend, std::filesystem::path dir,
       d->set_model(model);  // stored for symmetry; never charged
       return d;
     }
+    case DiskBackend::kUring: {
+      if (!UringDisk::available()) {
+        FG_LOG(kWarn) << "fg::pdm::make_disk: io_uring unavailable on this "
+                         "system; falling back to the native backend";
+        return make_disk(DiskBackend::kNative, std::move(dir), model, direct);
+      }
+      NativeDiskOptions opts;
+      opts.direct = direct;
+      auto d = std::make_unique<UringDisk>(std::move(dir), opts);
+      d->set_model(model);
+      return d;
+    }
   }
   throw std::invalid_argument("fg::pdm::make_disk: unknown backend");
 }
+
+// -- ShortReadError ---------------------------------------------------------
+
+ShortReadError::ShortReadError(const std::string& file, std::uint64_t offset,
+                               std::size_t requested, std::size_t got)
+    : std::runtime_error("fg::pdm: short read on " + file + " at offset " +
+                         std::to_string(offset) + ": wanted " +
+                         std::to_string(requested) + " bytes, got " +
+                         std::to_string(got) +
+                         " — read past EOF of a planned layout"),
+      file_(file),
+      offset_(offset),
+      requested_(requested),
+      got_(got) {}
 
 // -- File -------------------------------------------------------------------
 
@@ -326,6 +355,14 @@ std::size_t Disk::read(const File& f, std::uint64_t offset,
   }
 }
 
+void Disk::read_exact(const File& f, std::uint64_t offset,
+                      std::span<std::byte> out) {
+  const std::size_t n = read(f, offset, out);
+  if (n != out.size()) {
+    throw ShortReadError(f.name(), offset, out.size(), n);
+  }
+}
+
 std::size_t Disk::attempt_write(const File& f, std::uint64_t offset,
                                 std::span<const std::byte> data,
                                 bool* injected_short) {
@@ -511,6 +548,55 @@ void Disk::io_worker() {
     }
     req.state->cv.notify_all();
   }
+}
+
+// -- Disk: subclass async-path support ---------------------------------------
+
+fault::Injector* Disk::fault_injector(int* node_out) const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  if (node_out != nullptr) *node_out = fault_node_;
+  return injector_;
+}
+
+void Disk::note_read_attempt(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.read_ops;
+  stats_.bytes_read += bytes;
+}
+
+void Disk::note_write_attempt(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.write_ops;
+  stats_.bytes_written += bytes;
+}
+
+void Disk::merge_retry_stats(const util::RetryStats& s) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  retry_stats_.merge(s);
+}
+
+void Disk::charge_write_budget(std::size_t bytes) {
+  util::ByteBudget* budget;
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    budget = write_budget_;
+  }
+  if (budget != nullptr) budget->charge(bytes, "disk write");
+}
+
+IoHandle Disk::new_handle() {
+  return IoHandle(std::make_shared<IoHandle::State>());
+}
+
+void Disk::finish_handle(const IoHandle& h, std::size_t bytes,
+                         std::exception_ptr error) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(h.state_->mutex);
+    h.state_->bytes = bytes;
+    h.state_->error = error;
+    h.state_->done = true;
+  }
+  h.state_->cv.notify_all();
 }
 
 void Disk::stop_io() noexcept {

@@ -10,7 +10,7 @@
 // sync_once plus open/create/close), so fault sites fire identically and
 // retries behave identically no matter what sits underneath.
 //
-// Two backends:
+// Three backends:
 //
 //  * StdioDisk (stdio_disk.hpp) — the simulation backend the paper's
 //    numbers are reproduced on: buffered FILE* I/O, a per-disk mutex held
@@ -23,6 +23,12 @@
 //    serializes per-fd positioned I/O), optional O_DIRECT, and
 //    fdatasync-backed sync().  This is the "as fast as the hardware
 //    allows" backend.
+//
+//  * UringDisk (uring_disk.hpp) — NativeDisk's files and synchronous
+//    path, but the async requests below go through a real io_uring
+//    submission/completion loop (fixed files, registered buffers where
+//    alignment permits) instead of the worker pool.  Runtime-detected;
+//    make_disk falls back to NativeDisk where io_uring is unavailable.
 //
 // On top of the synchronous interface the base provides an asynchronous
 // request path: read_async/write_async enqueue positioned operations on a
@@ -43,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,12 +75,35 @@ struct IoStats {
 enum class DiskBackend {
   kStdio,   ///< buffered FILE*, spindle mutex, latency model
   kNative,  ///< fd-based pread/pwrite, kernel-serialized, no model
+  kUring,   ///< NativeDisk files + an io_uring async submission loop
 };
 
 const char* to_string(DiskBackend b) noexcept;
-/// "stdio" or "native"; throws std::invalid_argument naming the input
-/// otherwise.
+/// "stdio", "native", or "uring"; throws std::invalid_argument naming
+/// the input otherwise.
 DiskBackend parse_disk_backend(const std::string& name);
+
+/// Named error for a read that came back shorter than the caller
+/// requires.  Disk::read itself legitimately returns short at EOF; the
+/// callers that *assume* full reads (sort stages reading planned block
+/// layouts) route through read_exact / ReadAhead, which turn a past-EOF
+/// short read into this instead of silently processing garbage.
+class ShortReadError : public std::runtime_error {
+ public:
+  ShortReadError(const std::string& file, std::uint64_t offset,
+                 std::size_t requested, std::size_t got);
+
+  const std::string& file() const noexcept { return file_; }
+  std::uint64_t offset() const noexcept { return offset_; }
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t got() const noexcept { return got_; }
+
+ private:
+  std::string file_;
+  std::uint64_t offset_;
+  std::size_t requested_;
+  std::size_t got_;
+};
 
 class Disk;
 
@@ -214,28 +244,38 @@ class Disk {
   std::size_t read(const File& f, std::uint64_t offset,
                    std::span<std::byte> out);
 
+  /// Positioned read that must be fully satisfied: a short (past-EOF)
+  /// result throws ShortReadError naming the file, offset, and counts
+  /// instead of returning a count the caller was going to ignore.  Use
+  /// wherever the access pattern is planned from known file sizes.
+  void read_exact(const File& f, std::uint64_t offset,
+                  std::span<std::byte> out);
+
   /// Positioned write; extends the file as needed.
   void write(const File& f, std::uint64_t offset,
              std::span<const std::byte> data);
 
   /// Asynchronous positioned read/write: enqueue the operation on this
-  /// disk's submission queue and return immediately.  The I/O worker pool
-  /// executes it through exactly the synchronous path above (fault
-  /// injection, retries, stats).  The caller must keep `f` open and the
-  /// data span alive until the handle completes, and must wait every
-  /// handle before closing `f`.
-  IoHandle read_async(const File& f, std::uint64_t offset,
-                      std::span<std::byte> out);
-  IoHandle write_async(const File& f, std::uint64_t offset,
-                       std::span<const std::byte> data);
+  /// disk's submission queue and return immediately.  The base
+  /// implementation serves requests from an I/O worker pool through
+  /// exactly the synchronous path above (fault injection, retries,
+  /// stats); UringDisk overrides with a real io_uring submission loop
+  /// that preserves the same observable semantics.  The caller must keep
+  /// `f` open and the data span alive until the handle completes, and
+  /// must wait every handle before closing `f`.
+  virtual IoHandle read_async(const File& f, std::uint64_t offset,
+                              std::span<std::byte> out);
+  virtual IoHandle write_async(const File& f, std::uint64_t offset,
+                               std::span<const std::byte> data);
 
-  /// Size of the I/O worker pool serving the submission queue (default
-  /// 2).  Must be called before the first async request; with 1 worker,
-  /// requests complete in submission order.
-  void set_io_workers(int n);
+  /// Concurrency of the async request path (default 2): worker-pool size
+  /// on the thread-pool backends, in-flight submission cap on io_uring.
+  /// Must be called before the first async request; with 1, requests
+  /// complete in submission order on every backend.
+  virtual void set_io_workers(int n);
 
   /// Requests submitted but not yet completed (for tests/heartbeats).
-  std::size_t io_queue_depth() const;
+  virtual std::size_t io_queue_depth() const;
 
   IoStats stats() const;
   void reset_stats();
@@ -268,6 +308,31 @@ class Disk {
   void stop_io() noexcept;
 
   static File::Impl* impl_of(const File& f) noexcept { return f.impl_.get(); }
+
+  // -- subclass async-path support --------------------------------------
+  // A backend that overrides read_async/write_async with its own
+  // submission loop (UringDisk) must keep the base-class observable
+  // semantics: per-attempt fault injection, IoStats, retry accounting,
+  // and the write budget.  These expose exactly the state that needs.
+
+  /// The attached injector (nullptr if none); *node_out gets the node
+  /// tag fault rules filter on.
+  fault::Injector* fault_injector(int* node_out) const;
+  /// Record one physical attempt in IoStats (ops + bytes transferred) —
+  /// the subclass equivalent of what attempt_read/attempt_write log.
+  void note_read_attempt(std::size_t bytes);
+  void note_write_attempt(std::size_t bytes);
+  /// Fold one completed operation's retry counters into retry_stats().
+  void merge_retry_stats(const util::RetryStats& s);
+  /// Charge the attached write budget, if any (throws
+  /// util::QuotaExceeded once the allowance is gone).
+  void charge_write_budget(std::size_t bytes);
+  /// Mint a pending completion handle / publish its result.  IoHandle is
+  /// cheaply copyable (shared state), so a subclass keeps one per
+  /// in-flight op and finishes it from its completion thread.
+  static IoHandle new_handle();
+  static void finish_handle(const IoHandle& h, std::size_t bytes,
+                            std::exception_ptr error) noexcept;
 
  private:
   struct AsyncRequest;
@@ -307,7 +372,10 @@ class Disk {
 };
 
 /// Construct a Disk of the given backend.  `direct` requests O_DIRECT
-/// (NativeDisk only; StdioDisk rejects it).
+/// (NativeDisk/UringDisk only; StdioDisk rejects it).  Requesting
+/// kUring on a system without a usable io_uring logs a warning and
+/// falls back to NativeDisk — check backend() on the result for which
+/// one you actually got.
 std::unique_ptr<Disk> make_disk(DiskBackend backend, std::filesystem::path dir,
                                 util::LatencyModel model = util::LatencyModel::free(),
                                 bool direct = false);

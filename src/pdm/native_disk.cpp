@@ -44,6 +44,10 @@ NativeDisk::NativeFile& NativeDisk::handle(const File& f) {
   return *static_cast<NativeFile*>(impl_of(f));
 }
 
+int NativeDisk::impl_fd(const File::Impl* impl) noexcept {
+  return static_cast<const NativeFile*>(impl)->fd;
+}
+
 std::unique_ptr<File::Impl> NativeDisk::open_path(
     const std::filesystem::path& path, int extra_flags) const {
   int flags = O_RDWR | O_CLOEXEC | extra_flags;

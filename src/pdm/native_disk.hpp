@@ -18,7 +18,7 @@ struct NativeDiskOptions {
   bool direct{false};
 };
 
-class NativeDisk final : public Disk {
+class NativeDisk : public Disk {
  public:
   /// Alignment O_DIRECT requires of offsets, lengths, and buffers.
   static constexpr std::size_t kDirectAlign = 4096;
@@ -42,14 +42,18 @@ class NativeDisk final : public Disk {
   std::uint64_t size_once(const File& f) const override;
   void sync_once(const File& f) override;
 
+  /// The fd behind this backend's File::Impl — for the UringDisk
+  /// subclass, whose submission loop addresses files by fd.
+  static int impl_fd(const File::Impl* impl) noexcept;
+  void check_aligned(const char* what, const std::string& name,
+                     std::uint64_t offset, std::size_t bytes,
+                     const void* buf) const;
+
  private:
   struct NativeFile;
   static NativeFile& handle(const File& f);
   std::unique_ptr<File::Impl> open_path(const std::filesystem::path& path,
                                         int extra_flags) const;
-  void check_aligned(const char* what, const std::string& name,
-                     std::uint64_t offset, std::size_t bytes,
-                     const void* buf) const;
 
   NativeDiskOptions opts_;
 };

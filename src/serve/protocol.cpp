@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include "comm/net_io.hpp"
 #include "util/trace.hpp"
 
 #include <sys/socket.h>
@@ -24,35 +25,6 @@ std::uint32_t get_u32(const unsigned char* p) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
   return v;
-}
-
-/// Read exactly `len` bytes.  1 = ok, 0 = clean EOF before any byte,
-/// -1 = error or truncation.
-int read_full(int fd, unsigned char* buf, std::size_t len) {
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
-    if (n == 0) return got == 0 ? 0 : -1;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return 1;
-}
-
-bool write_full(int fd, const unsigned char* buf, std::size_t len) {
-  std::size_t put = 0;
-  while (put < len) {
-    const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    put += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 bool known_type(std::uint8_t t) {
@@ -125,11 +97,11 @@ const char* to_string(JobState s) noexcept {
 
 bool read_frame(int fd, Frame& out) {
   unsigned char hdr[kHeaderBytes];
-  const int hr = read_full(fd, hdr, kHeaderBytes);
-  if (hr == 0) return false;
-  if (hr < 0) {
-    throw ProtocolError("fg::serve: truncated frame header (peer died "
-                        "mid-frame or socket error)");
+  const comm::net::ReadOutcome hr = comm::net::read_full(fd, hdr, kHeaderBytes);
+  if (hr.status == comm::net::ReadStatus::kClosed) return false;
+  if (!hr.ok()) {
+    throw ProtocolError("fg::serve: truncated frame header (" +
+                        comm::net::describe(hr) + ")");
   }
   if (get_u32(hdr) != kMagic) {
     throw ProtocolError("fg::serve: bad frame magic — stream corrupt");
@@ -147,10 +119,13 @@ bool read_frame(int fd, Frame& out) {
                         "-byte bound");
   }
   out.payload.resize(len);
-  if (len > 0 &&
-      read_full(fd, reinterpret_cast<unsigned char*>(out.payload.data()),
-                len) != 1) {
-    throw ProtocolError("fg::serve: truncated frame payload");
+  if (len > 0) {
+    const comm::net::ReadOutcome pr =
+        comm::net::read_full(fd, out.payload.data(), len);
+    if (!pr.ok()) {
+      throw ProtocolError("fg::serve: truncated frame payload (" +
+                          comm::net::describe(pr) + ")");
+    }
   }
   return true;
 }
@@ -162,9 +137,12 @@ bool write_frame(int fd, MsgType type, std::uint32_t job,
   hdr[4] = static_cast<unsigned char>(type);
   put_u32(hdr + 5, job);
   put_u32(hdr + 9, static_cast<std::uint32_t>(payload.size()));
-  if (!write_full(fd, hdr, kHeaderBytes)) return false;
-  return write_full(fd, reinterpret_cast<const unsigned char*>(payload.data()),
-                    payload.size());
+  // One gathered sendmsg per frame: header + payload leave together.
+  iovec iov[2] = {
+      {hdr, kHeaderBytes},
+      {const_cast<char*>(payload.data()), payload.size()},
+  };
+  return comm::net::write_full_vec(fd, iov, payload.empty() ? 1 : 2);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include "comm/net_io.hpp"
 #include "util/log.hpp"
 #include "util/trace.hpp"
 
@@ -75,7 +76,8 @@ void Server::start() {
                             "fg::serve: socket");
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  comm::net::setsockopt_warn(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                             sizeof one, "SO_REUSEADDR");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

@@ -124,7 +124,7 @@ SortResult run_ssort(comm::Cluster& cluster, pdm::Workspace& ws,
       while (read_off < local) {
         const std::uint64_t n =
             std::min<std::uint64_t>(cfg.buffer_records, local - read_off);
-        disk.read(input, read_off * rec, {in_buf.data(), n * rec});
+        disk.read_exact(input, read_off * rec, {in_buf.data(), n * rec});
         read_off += n;
         const auto counts = partition_records({in_buf.data(), n * rec}, rec,
                                               st.splitters, part_buf);
@@ -176,7 +176,7 @@ SortResult run_ssort(comm::Cluster& cluster, pdm::Workspace& ws,
         const std::uint64_t n = std::min<std::uint64_t>(chunk, rem);
         cur[v].resize(n * rec);
         if (n) {
-          disk.read(runs_file, (run.offset + consumed[v]) * rec, cur[v]);
+          disk.read_exact(runs_file, (run.offset + consumed[v]) * rec, cur[v]);
           consumed[v] += n;
         }
         pos[v] = 0;

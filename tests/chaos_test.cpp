@@ -13,6 +13,7 @@
 // different (still deterministic) schedule; the CI soak loops over ten.
 #include "comm/cluster.hpp"
 #include "core/fg.hpp"
+#include "pdm/uring_disk.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sort/csort.hpp"
@@ -67,18 +68,25 @@ void arm_transient(fault::Injector& inj) {
   inj.arm(fault::kFabricDelay, fault::Rule::with_probability(0.05));
 }
 
-// Disk-fault chaos runs on both backends: fault injection and retries
-// live in the Disk base class, so the absorb/abort/custody guarantees
-// must hold whether stdio or pread/pwrite sits underneath.
+// Disk-fault chaos runs on all three backends: fault injection and
+// retries live in the Disk base class, so the absorb/abort/custody
+// guarantees must hold whether stdio, pread/pwrite, or the io_uring
+// ring sits underneath.  The uring rows skip where the ring is missing.
 class ChaosSort : public ::testing::TestWithParam<const char*> {
  protected:
+  void SetUp() override {
+    if (backend() == pdm::DiskBackend::kUring &&
+        !pdm::UringDisk::available()) {
+      GTEST_SKIP() << "io_uring unavailable on this system";
+    }
+  }
   pdm::DiskBackend backend() const {
     return pdm::parse_disk_backend(GetParam());
   }
 };
 
 INSTANTIATE_TEST_SUITE_P(Backends, ChaosSort,
-                         ::testing::Values("stdio", "native"),
+                         ::testing::Values("stdio", "native", "uring"),
                          [](const ::testing::TestParamInfo<const char*>& i) {
                            return std::string(i.param);
                          });

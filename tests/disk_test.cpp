@@ -1,18 +1,21 @@
 // Tests for the PDM storage substrate.
 //
-// The core of this file is a conformance suite parameterized over both
-// Disk backends (stdio and native), mirroring fabric_test's backend
-// pattern: every behavior the base class owns — positioned I/O, handle
-// validation, stats, fault injection, retry absorption, the async
-// request path — must be observably identical no matter what sits
-// underneath.  Backend-specific behavior (the stdio latency model and
-// spindle, O_DIRECT alignment) gets its own suites below, followed by
-// Workspace lifecycle and StripeLayout arithmetic.
+// The core of this file is a conformance suite parameterized over all
+// three Disk backends (stdio, native, and io_uring), mirroring
+// fabric_test's backend pattern: every behavior the base class owns —
+// positioned I/O, handle validation, stats, fault injection, retry
+// absorption, the async request path — must be observably identical no
+// matter what sits underneath.  The uring rows skip (not fail) on
+// systems without io_uring.  Backend-specific behavior (the stdio
+// latency model and spindle, O_DIRECT alignment, the ring's registered
+// resources) gets its own suites below, followed by Workspace lifecycle
+// and StripeLayout arithmetic.
 #include "pdm/aio.hpp"
 #include "pdm/disk.hpp"
 #include "pdm/native_disk.hpp"
 #include "pdm/stdio_disk.hpp"
 #include "pdm/striping.hpp"
+#include "pdm/uring_disk.hpp"
 #include "pdm/workspace.hpp"
 #include "util/fault.hpp"
 #include "util/retry.hpp"
@@ -24,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -50,8 +54,10 @@ std::vector<std::byte> pattern_bytes(std::size_t n, int seed) {
 TEST(DiskBackendTest, ParseRoundTrips) {
   EXPECT_EQ(parse_disk_backend("stdio"), DiskBackend::kStdio);
   EXPECT_EQ(parse_disk_backend("native"), DiskBackend::kNative);
+  EXPECT_EQ(parse_disk_backend("uring"), DiskBackend::kUring);
   EXPECT_STREQ(to_string(DiskBackend::kStdio), "stdio");
   EXPECT_STREQ(to_string(DiskBackend::kNative), "native");
+  EXPECT_STREQ(to_string(DiskBackend::kUring), "uring");
   EXPECT_THROW(parse_disk_backend("mmap"), std::invalid_argument);
 }
 
@@ -64,6 +70,24 @@ TEST(DiskBackendTest, FactoryBuildsTheRequestedBackend) {
   EXPECT_STREQ(native->backend_name(), "native");
 }
 
+// make_disk(kUring) is the soft path: the real backend where the probe
+// succeeds, NativeDisk (with a logged warning) where it doesn't — never
+// a throw.  Workspace::backend() reports whichever was actually built.
+TEST(DiskBackendTest, UringFactoryFallsBackWhenUnavailable) {
+  Workspace ws(1, util::LatencyModel::free(), DiskBackend::kUring);
+  if (UringDisk::available()) {
+    EXPECT_EQ(ws.backend(), DiskBackend::kUring);
+    EXPECT_STREQ(ws.disk(0).backend_name(), "uring");
+  } else {
+    EXPECT_EQ(ws.backend(), DiskBackend::kNative);
+    EXPECT_STREQ(ws.disk(0).backend_name(), "native");
+  }
+  File f = ws.disk(0).create("either");
+  ws.disk(0).write(f, 0, bytes_of("works"));
+  std::vector<std::byte> buf(5);
+  EXPECT_EQ(ws.disk(0).read(f, 0, buf), 5u);
+}
+
 TEST(DiskBackendTest, DirectRequiresNative) {
   Workspace ws(1);
   EXPECT_THROW(
@@ -72,18 +96,25 @@ TEST(DiskBackendTest, DirectRequiresNative) {
       std::invalid_argument);
 }
 
-// -- Conformance suite: both backends ----------------------------------------
+// -- Conformance suite: all three backends -----------------------------------
 
 class DiskConformance : public ::testing::TestWithParam<const char*> {
  protected:
-  DiskConformance()
-      : ws_(1, util::LatencyModel::free(), parse_disk_backend(GetParam())) {}
-  Disk& disk() { return ws_.disk(0); }
-  Workspace ws_;
+  // The Workspace is built in SetUp (not the constructor) so the uring
+  // rows can skip cleanly on systems without io_uring.
+  void SetUp() override {
+    const DiskBackend backend = parse_disk_backend(GetParam());
+    if (backend == DiskBackend::kUring && !UringDisk::available()) {
+      GTEST_SKIP() << "io_uring unavailable on this system";
+    }
+    ws_.emplace(1, util::LatencyModel::free(), backend);
+  }
+  Disk& disk() { return ws_->disk(0); }
+  std::optional<Workspace> ws_;
 };
 
 INSTANTIATE_TEST_SUITE_P(Backends, DiskConformance,
-                         ::testing::Values("stdio", "native"),
+                         ::testing::Values("stdio", "native", "uring"),
                          [](const auto& info) { return std::string(info.param); });
 
 TEST_P(DiskConformance, CreateWriteReadRoundTrip) {
@@ -109,6 +140,35 @@ TEST_P(DiskConformance, ShortReadAtEof) {
   std::vector<std::byte> buf(10);
   EXPECT_EQ(disk().read(f, 0, buf), 3u);
   EXPECT_EQ(disk().read(f, 3, buf), 0u);
+}
+
+// Regression (satellite): callers that plan their accesses from known
+// file sizes used to call read() and drop the count, silently processing
+// stale buffer contents when the file was shorter than the plan assumed.
+// read_exact turns that into a named error carrying the coordinates.
+TEST_P(DiskConformance, ReadExactSurfacesPastEofShortRead) {
+  File f = disk().create("trunc");
+  disk().write(f, 0, bytes_of("abc"));
+  std::vector<std::byte> buf(10);
+  try {
+    disk().read_exact(f, 0, buf);
+    FAIL() << "expected ShortReadError";
+  } catch (const ShortReadError& e) {
+    EXPECT_EQ(e.file(), "trunc");
+    EXPECT_EQ(e.offset(), 0u);
+    EXPECT_EQ(e.requested(), 10u);
+    EXPECT_EQ(e.got(), 3u);
+    EXPECT_NE(std::string(e.what()).find("past EOF"), std::string::npos);
+  }
+}
+
+TEST_P(DiskConformance, ReadExactIsQuietWhenSatisfied) {
+  File f = disk().create("full");
+  const auto data = pattern_bytes(512, 17);
+  disk().write(f, 0, data);
+  std::vector<std::byte> buf(512);
+  disk().read_exact(f, 0, buf);  // no throw
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), 512), 0);
 }
 
 TEST_P(DiskConformance, PersistsAcrossReopen) {
@@ -380,6 +440,33 @@ TEST_P(DiskConformance, ReadAheadDeliversThePlannedStream) {
   EXPECT_EQ(ra.next(buf), 0u);  // stays exhausted
 }
 
+// Regression (satellite): a plan that runs past EOF used to hand the
+// consumer a short round whose count it typically ignored.  The prefetch
+// pipeline now surfaces it as ShortReadError at the round that broke.
+TEST_P(DiskConformance, ReadAheadSurfacesShortPlannedRead) {
+  File f = disk().create("rashort");
+  const std::size_t kRound = 1024;
+  disk().write(f, 0, pattern_bytes(kRound + kRound / 2, 11));  // 1.5 rounds
+  ReadAhead ra(disk(), f, kRound,
+               [&](std::uint64_t round, std::uint64_t* offset,
+                   std::size_t* bytes) {
+                 if (round >= 2) return false;  // plan claims 2 full rounds
+                 *offset = round * kRound;
+                 *bytes = kRound;
+                 return true;
+               });
+  std::vector<std::byte> buf(kRound);
+  ASSERT_EQ(ra.next(buf), kRound);  // round 0 is whole
+  try {
+    ra.next(buf);
+    FAIL() << "expected ShortReadError";
+  } catch (const ShortReadError& e) {
+    EXPECT_EQ(e.offset(), kRound);
+    EXPECT_EQ(e.requested(), kRound);
+    EXPECT_EQ(e.got(), kRound / 2);
+  }
+}
+
 TEST_P(DiskConformance, WriteBehindLandsEveryPiece) {
   File f = disk().create("wb");
   const std::size_t kSlot = 4096;
@@ -578,6 +665,91 @@ TEST_F(NativeDirectTest, MisalignedRequestsRejectedUpFront) {
   EXPECT_THROW(disk_->read(file_, 512, {p, kAlign}), std::invalid_argument);
   EXPECT_THROW(disk_->read(file_, 0, {p, 100}), std::invalid_argument);
   std::free(raw);
+}
+
+// -- uring backend: the ring and its registered resources ---------------------
+
+class UringDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!UringDisk::available()) {
+      GTEST_SKIP() << "io_uring unavailable on this system";
+    }
+    ws_.emplace(1, util::LatencyModel::free(), DiskBackend::kUring);
+  }
+  UringDisk& disk() { return static_cast<UringDisk&>(ws_->disk(0)); }
+  std::optional<Workspace> ws_;
+};
+
+TEST_F(UringDiskTest, AsyncIoRidesTheRing) {
+  File f = disk().create("ring");
+  const auto data = pattern_bytes(8192, 21);
+  EXPECT_EQ(disk().write_async(f, 0, data).wait(), 8192u);
+  std::vector<std::byte> buf(8192);
+  EXPECT_EQ(disk().read_async(f, 0, buf).wait(), 8192u);
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), 8192), 0);
+  // The transfers went through SQEs, and the create() hook registered
+  // the fd into the fixed-file table, so they addressed it by slot.
+  EXPECT_GT(disk().sqes_submitted(), 0u);
+  EXPECT_GT(disk().fixed_file_ops(), 0u);
+}
+
+TEST_F(UringDiskTest, PinnedBuffersUseTheFixedOpcodes) {
+  File f = disk().create("pin");
+  constexpr std::size_t kLen = 8192;
+  void* raw = std::aligned_alloc(NativeDisk::kDirectAlign, kLen);
+  ASSERT_NE(raw, nullptr);
+  auto* p = static_cast<std::byte*>(raw);
+  ASSERT_TRUE(disk().pin_buffer({p, kLen}));
+  const auto data = pattern_bytes(kLen, 22);
+  std::memcpy(p, data.data(), kLen);
+  EXPECT_EQ(disk().write_async(f, 0, {p, kLen}).wait(), kLen);
+  std::memset(p, 0, kLen);
+  EXPECT_EQ(disk().read_async(f, 0, {p, kLen}).wait(), kLen);
+  EXPECT_EQ(std::memcmp(p, data.data(), kLen), 0);
+  EXPECT_GT(disk().fixed_buffer_ops(), 0u);
+  disk().unpin_buffer({p, kLen});
+  std::free(raw);
+}
+
+TEST_F(UringDiskTest, MisalignedPinRefusedButIoStillWorks) {
+  File f = disk().create("nopin");
+  std::vector<std::byte> backing(4096 + 1);
+  std::byte* misaligned = backing.data() + 1;
+  EXPECT_FALSE(disk().pin_buffer({misaligned, 4096}));
+  const auto data = pattern_bytes(4096, 23);
+  std::memcpy(misaligned, data.data(), 4096);
+  EXPECT_EQ(disk().write_async(f, 0, {misaligned, 4096}).wait(), 4096u);
+  std::vector<std::byte> buf(4096);
+  EXPECT_EQ(disk().read_async(f, 0, buf).wait(), 4096u);
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), 4096), 0);
+}
+
+TEST_F(UringDiskTest, ReadAheadPinsItsSlotBuffers) {
+  File f = disk().create("rapin");
+  const std::size_t kRound = 4096;
+  for (int r = 0; r < 4; ++r) {
+    disk().write(f, static_cast<std::uint64_t>(r) * kRound,
+                 pattern_bytes(kRound, 30 + r));
+  }
+  ReadAhead ra(disk(), f, kRound,
+               [&](std::uint64_t round, std::uint64_t* offset,
+                   std::size_t* bytes) {
+                 if (round >= 4) return false;
+                 *offset = round * kRound;
+                 *bytes = kRound;
+                 return true;
+               });
+  std::vector<std::byte> buf(kRound);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(ra.next(buf), kRound) << "round " << r;
+    ASSERT_EQ(std::memcmp(buf.data(), pattern_bytes(kRound, 30 + r).data(),
+                          kRound),
+              0);
+  }
+  // The prefetch slots are page-aligned and pinned for the ReadAhead's
+  // lifetime, so the planned reads ran as READ_FIXED.
+  EXPECT_GT(disk().fixed_buffer_ops(), 0u);
 }
 
 // -- Workspace ----------------------------------------------------------------

@@ -14,8 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -724,6 +729,199 @@ TEST(TcpEndpointTest, PortRangeChecked) {
   EXPECT_THROW(parse_endpoint("host:-1"), std::invalid_argument);
   EXPECT_THROW(parse_endpoint("host:"), std::invalid_argument);
   EXPECT_THROW(parse_endpoint("hostonly"), std::invalid_argument);
+}
+
+// -- TcpFabric-specific: wire failures and the receive pool -------------------
+//
+// These tests speak the FGF1 framing by hand from a raw socket posing as
+// rank 0, so they can do what a real TcpFabric never would: die partway
+// through a frame.  Before the receive path grew its tri-state read
+// outcome, every one of these deaths surfaced as the same anonymous
+// abort; the assertions below pin the per-cause diagnostics.
+
+namespace wire {
+
+constexpr std::uint32_t kHelloMagic = 0x31484746u;  // "FGH1"
+constexpr std::uint32_t kFrameMagic = 0x31464746u;  // "FGF1"
+constexpr std::size_t kHelloBytes = 8;
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8;
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::byte>(v >> (8 * i));
+}
+
+void put_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::byte>(v >> (8 * i));
+}
+
+std::vector<std::byte> data_frame_header(int tag, std::uint32_t seq,
+                                         std::uint64_t len) {
+  std::vector<std::byte> hdr(kHeaderBytes);
+  put_u32(hdr.data(), kFrameMagic);
+  hdr[4] = std::byte{0};  // DATA
+  put_u32(hdr.data() + 5, static_cast<std::uint32_t>(tag));
+  put_u32(hdr.data() + 9, seq);
+  put_u64(hdr.data() + 13, len);
+  put_u64(hdr.data() + 21, 0);  // no injected delay
+  return hdr;
+}
+
+}  // namespace wire
+
+/// A raw loopback socket standing in for rank 0 of a two-rank mesh: it
+/// accepts the real fabric's dial + hello and then writes whatever bytes
+/// the test wants on the wire — including none.
+class FakePeer {
+ public:
+  FakePeer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    ::listen(listen_fd_, 1);
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~FakePeer() {
+    close_abruptly();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  bool accept_and_read_hello() {
+    fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd_ < 0) return false;
+    std::byte hello[wire::kHelloBytes];
+    std::size_t got = 0;
+    while (got < sizeof hello) {
+      const ssize_t n = ::recv(fd_, hello + got, sizeof hello - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, hello, 4);
+    return magic == wire::kHelloMagic;
+  }
+
+  void send_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd_, b + off, n - off, MSG_NOSIGNAL);
+      if (w <= 0) return;
+      off += static_cast<std::size_t>(w);
+    }
+  }
+
+  /// Die without BYE, mid-whatever the previous writes left the stream in.
+  void close_abruptly() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int listen_fd_{-1};
+  int fd_{-1};
+  std::uint16_t port_{0};
+};
+
+/// Bring up a two-rank mesh where rank 0 is the FakePeer and rank 1 is a
+/// real fabric (rank 1 dials rank 0, so the fake side only accepts).
+void connect_fake_mesh(TcpFabric& fab, FakePeer& peer) {
+  std::thread conn([&] {
+    fab.connect({{"127.0.0.1", peer.port()},
+                 {"127.0.0.1", fab.listen_port()}});
+  });
+  EXPECT_TRUE(peer.accept_and_read_hello());
+  conn.join();
+}
+
+// Regression (satellite): a peer killed mid-payload used to be
+// indistinguishable from any other receive failure.  The abort
+// diagnostic must now say the frame was truncated and how big it was.
+TEST(TcpFabricWire, PeerDeathMidPayloadIsDiagnosed) {
+  FakePeer peer;
+  TcpFabric fab(2, 1);
+  connect_fake_mesh(fab, peer);
+
+  // A DATA frame that promises 4096 bytes, delivers 100, then dies.
+  const auto hdr = wire::data_frame_header(/*tag=*/7, /*seq=*/0, 4096);
+  peer.send_bytes(hdr.data(), hdr.size());
+  const std::vector<std::byte> partial(100, std::byte{0x42});
+  peer.send_bytes(partial.data(), partial.size());
+  peer.close_abruptly();
+
+  std::vector<std::byte> buf(8192);
+  EXPECT_THROW(fab.recv(1, 0, 7, buf), FabricAborted);
+  const std::string detail = fab.abort_detail();
+  EXPECT_NE(detail.find("rank 0"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("mid-frame"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("died mid-payload"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("4096-byte frame truncated"), std::string::npos)
+      << detail;
+}
+
+TEST(TcpFabricWire, PeerDeathInsideHeaderIsDiagnosed) {
+  FakePeer peer;
+  TcpFabric fab(2, 1);
+  connect_fake_mesh(fab, peer);
+
+  const auto hdr = wire::data_frame_header(/*tag=*/7, /*seq=*/0, 64);
+  peer.send_bytes(hdr.data(), 10);  // 10 of 29 header bytes
+  peer.close_abruptly();
+
+  std::vector<std::byte> buf(256);
+  EXPECT_THROW(fab.recv(1, 0, 7, buf), FabricAborted);
+  const std::string detail = fab.abort_detail();
+  EXPECT_NE(detail.find("mid-frame"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("died inside a frame header"), std::string::npos)
+      << detail;
+}
+
+TEST(TcpFabricWire, SilentDeathAtFrameBoundaryIsDiagnosed) {
+  FakePeer peer;
+  TcpFabric fab(2, 1);
+  connect_fake_mesh(fab, peer);
+
+  // EOF between frames but without BYE: the peer process died while
+  // idle.  Still an abort, but the diagnostic says the stream was whole.
+  peer.close_abruptly();
+
+  std::vector<std::byte> buf(16);
+  EXPECT_THROW(fab.recv(1, 0, 7, buf), FabricAborted);
+  const std::string detail = fab.abort_detail();
+  EXPECT_NE(detail.find("frame boundary"), std::string::npos) << detail;
+}
+
+// The receive path recycles payload vectors through the frame pool
+// instead of allocating per frame; steady-state traffic must show reuse.
+TEST(TcpFabricWire, ReceivePayloadsAreRecycled) {
+  TcpFabric a(2, 0);
+  TcpFabric b(2, 1);
+  const std::vector<TcpEndpoint> eps{{"127.0.0.1", a.listen_port()},
+                                     {"127.0.0.1", b.listen_port()}};
+  std::thread ca([&] { a.connect(eps); });
+  b.connect(eps);
+  ca.join();
+
+  const std::vector<std::byte> payload(1024, std::byte{0x07});
+  std::vector<std::byte> buf(1024);
+  for (int i = 0; i < 8; ++i) {
+    a.send(0, 1, 5, payload);
+    // Receiving frame i recycles its vector before frame i+1 is sent, so
+    // every later frame lands in pooled memory.
+    const RecvResult r = b.recv(1, 0, 5, buf);
+    EXPECT_EQ(r.bytes, payload.size());
+  }
+  EXPECT_GT(b.recv_pool_reuses(), 0u);
+  a.shutdown();
+  b.shutdown();
 }
 
 // -- SimFabric-specific: the latency model ----------------------------------
