@@ -35,10 +35,10 @@ void SimCluster::run(const std::function<void(NodeId)>& node_main) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void TcpCluster::run(const std::function<void(NodeId)>& node_main) {
-  if (fabric_.aborted()) {
+void RankCluster::run(const std::function<void(NodeId)>& node_main) {
+  if (fabric().aborted()) {
     throw std::logic_error(
-        "fg::comm::TcpCluster::run: fabric aborted by an earlier failure");
+        "fg::comm::RankCluster::run: fabric aborted by an earlier failure");
   }
   try {
     node_main(rank());
@@ -46,12 +46,12 @@ void TcpCluster::run(const std::function<void(NodeId)>& node_main) {
     // next phase while another is still in this one; across processes the
     // same guarantee needs a barrier, or a fast rank's next-phase traffic
     // could reach a peer still draining this phase's wildcard receives.
-    fabric_.barrier(rank());
+    fabric().barrier(rank());
   } catch (const FabricAborted&) {
     // A peer failed (it already aborted the fabric); just unwind.
     throw;
   } catch (...) {
-    fabric_.abort();
+    fabric().abort();
     throw;
   }
 }

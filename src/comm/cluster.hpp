@@ -6,17 +6,19 @@
 //
 //   - SimCluster: the whole cluster in one process — run() executes
 //     node_main(rank) on one thread per node, all sharing one SimFabric.
-//   - TcpCluster: this process is ONE node of a multi-process cluster —
-//     run() executes node_main(local rank) on the calling thread over a
-//     connected TcpFabric, and joins the phase with a cluster-wide
-//     barrier so multi-phase programs stay in step across processes the
-//     way SimCluster's thread join keeps them in step within one.
+//   - RankCluster (TcpCluster, ShmCluster): this process is ONE node of a
+//     multi-process cluster — run() executes node_main(local rank) on the
+//     calling thread over a connected fabric, and joins the phase with a
+//     cluster-wide barrier so multi-phase programs stay in step across
+//     processes the way SimCluster's thread join keeps them in step
+//     within one.
 //
 // Either way, a node program that throws aborts the fabric so every other
 // node's blocked communication calls unwind instead of hanging.
 #pragma once
 
 #include "comm/fabric.hpp"
+#include "comm/shm_fabric.hpp"
 #include "comm/sim_fabric.hpp"
 #include "comm/tcp_fabric.hpp"
 
@@ -61,14 +63,16 @@ class SimCluster final : public Cluster {
   SimFabric fabric_;
 };
 
-class TcpCluster final : public Cluster {
+/// The one-process-one-rank cluster shape shared by the multi-process
+/// backends: this process hosts exactly one rank of the mesh.
+class RankCluster : public Cluster {
  public:
-  /// @param fabric  a connected TcpFabric for this process's rank; must
-  ///                outlive the cluster.
-  explicit TcpCluster(TcpFabric& fabric) : fabric_(fabric) {}
+  /// @param fabric  a connected fabric hosting `rank`; must outlive the
+  ///                cluster.
+  RankCluster(Fabric& fabric, NodeId rank) : fabric_(fabric), rank_(rank) {}
 
-  TcpFabric& fabric() noexcept override { return fabric_; }
-  NodeId rank() const noexcept { return fabric_.rank(); }
+  Fabric& fabric() noexcept override { return fabric_; }
+  NodeId rank() const noexcept { return rank_; }
 
   /// Executes node_main(rank()) on the calling thread, then joins the
   /// phase with a cluster-wide barrier.  A local failure aborts the
@@ -77,7 +81,30 @@ class TcpCluster final : public Cluster {
   void run(const std::function<void(NodeId)>& node_main) override;
 
  private:
+  Fabric& fabric_;
+  NodeId rank_;
+};
+
+class TcpCluster final : public RankCluster {
+ public:
+  explicit TcpCluster(TcpFabric& fabric)
+      : RankCluster(fabric, fabric.rank()), fabric_(fabric) {}
+
+  TcpFabric& fabric() noexcept override { return fabric_; }
+
+ private:
   TcpFabric& fabric_;
+};
+
+class ShmCluster final : public RankCluster {
+ public:
+  explicit ShmCluster(ShmFabric& fabric)
+      : RankCluster(fabric, fabric.rank()), fabric_(fabric) {}
+
+  ShmFabric& fabric() noexcept override { return fabric_; }
+
+ private:
+  ShmFabric& fabric_;
 };
 
 }  // namespace fg::comm

@@ -26,6 +26,7 @@
 #include <functional>
 #include <list>
 #include <mutex>
+#include <unordered_map>
 
 namespace fg::comm {
 
@@ -54,15 +55,15 @@ class Mailbox {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (aborted_) return;
-      util::TimePoint floor{};
-      for (auto it = messages_.rbegin(); it != messages_.rend(); ++it) {
-        if (it->src == src) {
-          floor = it->deliver_at;
-          break;
-        }
-      }
-      messages_.push_back(
-          Message{src, tag, std::move(payload), std::max(deliver_at, floor)});
+      // The floor is tracked per source, not rediscovered by scanning the
+      // queue: with one busy sender piling up unmatched messages, a scan
+      // would make every *other* source's deposit O(queue length) on the
+      // receive hot path.  The map only ever moves forward; a floor from
+      // a long-delivered message clamps to a time already in the past, so
+      // it never delays anything.
+      util::TimePoint& floor = floors_[src];
+      floor = std::max(deliver_at, floor);
+      messages_.push_back(Message{src, tag, std::move(payload), floor});
     }
     cv_.notify_all();
   }
@@ -167,6 +168,9 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::list<Message> messages_;
+  /// Latest delivery time ever deposited per source — the non-overtaking
+  /// floor for that channel.  Guarded by mutex_.
+  std::unordered_map<NodeId, util::TimePoint> floors_;
   bool aborted_{false};
   Recycler recycler_;  ///< set before threads, immutable afterwards
 };

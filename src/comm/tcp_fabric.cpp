@@ -315,29 +315,36 @@ void TcpFabric::write_frame(NodeId dst, std::uint8_t type, int tag,
                             std::span<const std::byte> payload,
                             std::uint64_t delay_ns, bool best_effort) {
   Peer& p = *peers_[static_cast<std::size_t>(dst)];
-  std::lock_guard<std::mutex> lock(p.send_mutex);
-  if (p.fd < 0) {
-    if (best_effort) return;
-    throw FabricAborted{};
+  bool wrote;
+  {
+    std::lock_guard<std::mutex> lock(p.send_mutex);
+    if (p.fd < 0) {
+      if (best_effort) return;
+      throw FabricAborted{};
+    }
+    std::byte hdr[kHeaderBytes];
+    put_u32(hdr, kFrameMagic);
+    hdr[4] = static_cast<std::byte>(type);
+    put_u32(hdr + 5, static_cast<std::uint32_t>(tag));
+    put_u32(hdr + 9, p.send_seq++);
+    put_u64(hdr + 13, payload.size());
+    put_u64(hdr + 21, delay_ns);
+    // Header and payload leave in one sendmsg: one syscall per frame, and
+    // the kernel sees the full frame at once instead of a 25-byte header
+    // write followed by the payload.
+    iovec iov[2] = {
+        {hdr, kHeaderBytes},
+        {const_cast<std::byte*>(payload.data()), payload.size()},
+    };
+    wrote = net::write_full_vec(p.fd, iov, payload.empty() ? 1 : 2);
   }
-  std::byte hdr[kHeaderBytes];
-  put_u32(hdr, kFrameMagic);
-  hdr[4] = static_cast<std::byte>(type);
-  put_u32(hdr + 5, static_cast<std::uint32_t>(tag));
-  put_u32(hdr + 9, p.send_seq++);
-  put_u64(hdr + 13, payload.size());
-  put_u64(hdr + 21, delay_ns);
-  // Header and payload leave in one sendmsg: one syscall per frame, and
-  // the kernel sees the full frame at once instead of a 25-byte header
-  // write followed by the payload.
-  iovec iov[2] = {
-      {hdr, kHeaderBytes},
-      {const_cast<std::byte*>(payload.data()), payload.size()},
-  };
-  if (!net::write_full_vec(p.fd, iov, payload.empty() ? 1 : 2)) {
+  if (!wrote) {
     if (best_effort) return;
     // The peer's socket is gone mid-run: treat it as a cluster failure so
-    // everyone (including this process) unwinds.
+    // everyone (including this process) unwinds.  The abort broadcast
+    // below re-enters write_frame for every peer — this one included — so
+    // it must run after the send lock above is released: abort() may
+    // never be called while holding a peer's send_mutex.
     abort();
     throw FabricAborted{};
   }
@@ -394,12 +401,17 @@ void TcpFabric::receiver_loop(NodeId peer) {
         return;
       }
     }
+    // Every frame consumes one slot of the channel's sequence space — the
+    // sender bumps send_seq for control frames too — so every frame gets
+    // validated, not just DATA.  Checking DATA alone would let the data
+    // frame *after* an ABORT broadcast mismatch expect_seq and escalate an
+    // orderly drain into a spurious "frames lost" abort.
+    if (seq != expect_seq++) {
+      abort();  // frames lost or reordered: stream no longer trusted
+      return;
+    }
     switch (type) {
       case kFrameData: {
-        if (seq != expect_seq++) {
-          abort();  // frames lost or reordered: stream no longer trusted
-          return;
-        }
         const util::TimePoint deliver_at =
             util::Clock::now() +
             std::chrono::duration_cast<util::Duration>(

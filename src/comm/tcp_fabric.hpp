@@ -11,7 +11,8 @@
 //   magic   u32   frame sanity check
 //   type    u8    0 = DATA, 1 = ABORT, 2 = BYE
 //   tag     i32   application or internal collective tag
-//   seq     u32   per-direction sequence number, must arrive in order
+//   seq     u32   per-direction sequence number; every frame (data and
+//                 control alike) consumes one and must arrive in order
 //   len     u64   payload bytes following the header
 //   delay   u64   injected delay (ns) the receiver applies before delivery
 //

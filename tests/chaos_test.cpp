@@ -27,7 +27,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fg {
@@ -314,6 +318,182 @@ TEST(ChaosCluster, NodeCrashUnwindsSurvivors) {
   EXPECT_EQ(unwound.load(), p);
   EXPECT_TRUE(cluster.fabric().crashed(2));
   EXPECT_FALSE(cluster.fabric().crashed(0));
+}
+
+// -- real-mesh chaos: the multi-process fabrics under fabric faults ---------
+
+/// One rank of a real in-process mesh (tcp or shm): its fabric, its
+/// cluster, and an orderly shutdown hook — the type-erased view the
+/// parameterized tests drive.
+struct MeshRank {
+  std::unique_ptr<comm::Fabric> fabric;
+  std::unique_ptr<comm::Cluster> cluster;
+  std::function<void()> shutdown;
+};
+
+std::vector<MeshRank> make_mesh(const std::string& kind, int p) {
+  std::vector<MeshRank> mesh(static_cast<std::size_t>(p));
+  if (kind == "tcp") {
+    std::vector<comm::TcpFabric*> fabs;
+    for (int r = 0; r < p; ++r) {
+      auto f = std::make_unique<comm::TcpFabric>(p, r, 0);
+      fabs.push_back(f.get());
+      mesh[static_cast<std::size_t>(r)].fabric = std::move(f);
+    }
+    std::vector<comm::TcpEndpoint> eps;
+    for (int r = 0; r < p; ++r) {
+      eps.push_back({"127.0.0.1", fabs[static_cast<std::size_t>(r)]
+                                      ->listen_port()});
+    }
+    std::vector<std::thread> conn;
+    for (int r = 0; r < p; ++r) {
+      conn.emplace_back(
+          [&, r] { fabs[static_cast<std::size_t>(r)]->connect(eps); });
+    }
+    for (auto& t : conn) t.join();
+    for (int r = 0; r < p; ++r) {
+      comm::TcpFabric* f = fabs[static_cast<std::size_t>(r)];
+      mesh[static_cast<std::size_t>(r)].cluster =
+          std::make_unique<comm::TcpCluster>(*f);
+      mesh[static_cast<std::size_t>(r)].shutdown = [f] { f->shutdown(); };
+    }
+  } else {
+    const auto seg = comm::ShmSegment::create(p);
+    for (int r = 0; r < p; ++r) {
+      auto f = std::make_unique<comm::ShmFabric>(seg, r);
+      mesh[static_cast<std::size_t>(r)].cluster =
+          std::make_unique<comm::ShmCluster>(*f);
+      mesh[static_cast<std::size_t>(r)].shutdown = [fp = f.get()] {
+        fp->shutdown();
+      };
+      mesh[static_cast<std::size_t>(r)].fabric = std::move(f);
+    }
+  }
+  return mesh;
+}
+
+// The ChaosSort suite soaks faults over SimCluster; this one drives the
+// two real mesh backends, where delivery crosses rings or sockets and
+// abort propagation is a protocol, not a shared flag.
+class ChaosFabricMesh : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "shm" && !comm::ShmFabric::available()) {
+      GTEST_SKIP() << "shared-memory segments unavailable (FG_NO_SHM set?)";
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, ChaosFabricMesh,
+                         ::testing::Values("tcp", "shm"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+// Transient delay spikes on every rank's sends must be absorbed: dsort
+// still produces verified output over the real mesh.
+TEST_P(ChaosFabricMesh, DsortDelaySpikesAbsorbed) {
+  sort::SortConfig cfg = small_sort_config();
+  const int p = cfg.nodes;
+  const auto root = std::filesystem::temp_directory_path() /
+                    (std::string("fg_chaos_mesh_") + GetParam());
+  std::filesystem::remove_all(root);
+
+  std::vector<MeshRank> mesh = make_mesh(GetParam(), p);
+  // One injector per rank (each process of a real run owns its own), all
+  // derived from the one chaos seed so a failure replays.
+  std::vector<std::unique_ptr<fault::Injector>> injs;
+  for (int r = 0; r < p; ++r) {
+    injs.push_back(std::make_unique<fault::Injector>(
+        chaos_seed() + static_cast<std::uint64_t>(r)));
+    injs.back()->arm(fault::kFabricDelay, fault::Rule::with_probability(0.1));
+    comm::Fabric& f = *mesh[static_cast<std::size_t>(r)].fabric;
+    f.set_fault_injector(injs.back().get());
+    f.set_delay_spike(std::chrono::milliseconds(2));
+    f.set_recv_deadline(std::chrono::seconds(120));
+  }
+
+  std::vector<std::thread> ranks;
+  std::vector<std::string> errors(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        pdm::Workspace ws(root, p, util::LatencyModel::free());
+        ws.keep();
+        sort::generate_node_input(ws, cfg, r);
+        sort::run_dsort(*mesh[static_cast<std::size_t>(r)].cluster, ws, cfg);
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = e.what();
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(errors[static_cast<std::size_t>(r)].empty())
+        << "rank " << r << ": " << errors[static_cast<std::size_t>(r)];
+  }
+
+  std::uint64_t fired = 0;
+  for (int r = 0; r < p; ++r) {
+    comm::Fabric& f = *mesh[static_cast<std::size_t>(r)].fabric;
+    f.set_fault_injector(nullptr);
+    fired += injs[static_cast<std::size_t>(r)]->total_fired();
+  }
+  EXPECT_GT(fired, 0u) << "the schedule never delayed anything";
+
+  {
+    pdm::Workspace ws(root, p, util::LatencyModel::free());
+    ws.keep();
+    const sort::VerifyResult v = sort::verify_output(ws, cfg);
+    EXPECT_TRUE(v.sorted);
+    EXPECT_TRUE(v.permutation);
+    EXPECT_EQ(v.records, cfg.records);
+  }
+  for (auto& m : mesh) m.shutdown();
+  std::filesystem::remove_all(root);
+}
+
+// An injected crash on one rank must unwind every rank of the real mesh:
+// over tcp that is the abort broadcast, over shm the segment abort word.
+TEST_P(ChaosFabricMesh, InjectedCrashUnwindsEveryRank) {
+  sort::SortConfig cfg = small_sort_config();
+  const int p = cfg.nodes;
+  const auto root = std::filesystem::temp_directory_path() /
+                    (std::string("fg_chaos_mesh_crash_") + GetParam());
+  std::filesystem::remove_all(root);
+
+  std::vector<MeshRank> mesh = make_mesh(GetParam(), p);
+  fault::Injector inj(chaos_seed());
+  inj.arm(fault::kFabricCrash, fault::Rule::one_shot(5).on_node(2));
+  for (int r = 0; r < p; ++r) {
+    comm::Fabric& f = *mesh[static_cast<std::size_t>(r)].fabric;
+    f.set_recv_deadline(std::chrono::seconds(120));
+  }
+  mesh[2].fabric->set_fault_injector(&inj);
+
+  std::vector<std::thread> ranks;
+  std::vector<char> unwound(static_cast<std::size_t>(p), 0);
+  for (int r = 0; r < p; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        pdm::Workspace ws(root, p, util::LatencyModel::free());
+        ws.keep();
+        sort::generate_node_input(ws, cfg, r);
+        sort::run_dsort(*mesh[static_cast<std::size_t>(r)].cluster, ws, cfg);
+      } catch (const std::exception&) {
+        unwound[static_cast<std::size_t>(r)] = 1;
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  mesh[2].fabric->set_fault_injector(nullptr);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(unwound[static_cast<std::size_t>(r)]) << "rank " << r;
+    EXPECT_TRUE(mesh[static_cast<std::size_t>(r)].fabric->aborted())
+        << "rank " << r;
+  }
+  for (auto& m : mesh) m.shutdown();
+  std::filesystem::remove_all(root);
 }
 
 // -- executor/channel chaos -------------------------------------------------

@@ -1,12 +1,15 @@
 // Backend-parameterized conformance suite for the communication fabric.
 //
-// Every semantic test here runs twice: once against SimFabric (the whole
-// cluster in one process) and once against a loopback TcpFabric mesh (one
-// fabric instance per rank, connected over real sockets), so the two
-// backends cannot drift.  Point-to-point semantics (tags, wildcards, FIFO
-// per channel, truncation), collectives, receive deadlines, fault
-// injection, and abort propagation are all covered.  Latency-model
-// behaviour is SimFabric-specific and kept in its own suite at the end.
+// Every semantic test here runs three times: against SimFabric (the whole
+// cluster in one process), against a loopback TcpFabric mesh (one fabric
+// instance per rank, connected over real sockets), and against a ShmFabric
+// mesh (one instance per rank sharing one memfd segment), so the backends
+// cannot drift.  Point-to-point semantics (tags, wildcards, FIFO per
+// channel, truncation), collectives, receive deadlines, fault injection,
+// and abort propagation are all covered.  Latency-model behaviour is
+// SimFabric-specific and kept in its own suite at the end, as are the
+// TcpFabric wire-failure and ShmFabric segment-lifecycle suites.
+#include "comm/shm_fabric.hpp"
 #include "comm/sim_fabric.hpp"
 #include "comm/tcp_fabric.hpp"
 #include "util/fault.hpp"
@@ -15,7 +18,10 @@
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -99,11 +105,37 @@ class TcpBackend final : public Backend {
   std::vector<std::unique_ptr<TcpFabric>> inst_;
 };
 
+class ShmBackend final : public Backend {
+ public:
+  explicit ShmBackend(int p) : seg_(ShmSegment::create(p)) {
+    for (int r = 0; r < p; ++r) {
+      inst_.push_back(std::make_unique<ShmFabric>(seg_, r));
+    }
+  }
+  Fabric& node(NodeId r) override {
+    return *inst_.at(static_cast<std::size_t>(r));
+  }
+  int nodes() const override { return static_cast<int>(inst_.size()); }
+
+ private:
+  std::shared_ptr<ShmSegment> seg_;
+  std::vector<std::unique_ptr<ShmFabric>> inst_;
+};
+
 class FabricConformance : public ::testing::TestWithParam<const char*> {
  protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "shm" && !ShmFabric::available()) {
+      GTEST_SKIP() << "shared-memory segments unavailable (FG_NO_SHM set?)";
+    }
+  }
+
   std::unique_ptr<Backend> make(int p) {
     if (std::string(GetParam()) == "tcp") {
       return std::make_unique<TcpBackend>(p);
+    }
+    if (std::string(GetParam()) == "shm") {
+      return std::make_unique<ShmBackend>(p);
     }
     return std::make_unique<SimBackend>(p);
   }
@@ -687,7 +719,7 @@ TEST_P(FabricConformance, CrashedNodeThrowsAndStaysDown) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, FabricConformance,
-                         ::testing::Values("sim", "tcp"),
+                         ::testing::Values("sim", "tcp", "shm"),
                          [](const ::testing::TestParamInfo<const char*>& i) {
                            return std::string(i.param);
                          });
@@ -766,6 +798,18 @@ std::vector<std::byte> data_frame_header(int tag, std::uint32_t seq,
   return hdr;
 }
 
+std::vector<std::byte> control_frame_header(std::uint8_t type,
+                                            std::uint32_t seq) {
+  std::vector<std::byte> hdr(kHeaderBytes);
+  put_u32(hdr.data(), kFrameMagic);
+  hdr[4] = static_cast<std::byte>(type);  // 1 = ABORT, 2 = BYE
+  put_u32(hdr.data() + 5, 0);
+  put_u32(hdr.data() + 9, seq);
+  put_u64(hdr.data() + 13, 0);
+  put_u64(hdr.data() + 21, 0);
+  return hdr;
+}
+
 }  // namespace wire
 
 /// A raw loopback socket standing in for rank 0 of a two-rank mesh: it
@@ -823,6 +867,14 @@ class FakePeer {
       ::close(fd_);
       fd_ = -1;
     }
+  }
+
+  /// True if the real fabric sends us any bytes within `ms` milliseconds.
+  bool readable_within(int ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, ms) <= 0) return false;
+    char c;
+    return ::recv(fd_, &c, 1, MSG_PEEK) > 0;
   }
 
  private:
@@ -899,6 +951,79 @@ TEST(TcpFabricWire, SilentDeathAtFrameBoundaryIsDiagnosed) {
   EXPECT_NE(detail.find("frame boundary"), std::string::npos) << detail;
 }
 
+// Regression (satellite bugfix): a failed send used to call abort() while
+// still holding that peer's non-recursive send_mutex; the abort broadcast
+// re-entered write_frame for the same peer and self-deadlocked.  The shape
+// that hits it in the wild: a sender blocked in sendmsg on a full socket
+// (the peer stopped reading), then the peer dies — the in-flight write
+// fails INSIDE write_frame, past send_payload's aborted() precheck, so the
+// failure path runs with the lock held no matter how fast the receiver
+// thread notices the RST.  Pre-fix this test hangs in the deadlock (and
+// fails by timeout); post-fix the wedged send unwinds as FabricAborted.
+TEST(TcpFabricWire, SendFailureAbortBroadcastDoesNotSelfDeadlock) {
+  FakePeer peer;
+  TcpFabric fab(2, 1);
+  connect_fake_mesh(fab, peer);
+
+  // Far larger than both kernel socket buffers combined, so the sender
+  // parks mid-frame: the fake peer never reads.
+  std::atomic<bool> unwound{false};
+  std::thread sender([&] {
+    const std::vector<std::byte> huge(16 * 1024 * 1024, std::byte{0x5a});
+    try {
+      fab.send(1, 0, 3, huge);
+      ADD_FAILURE() << "a 16 MiB send into a dead socket succeeded";
+    } catch (const FabricAborted&) {
+    }
+    unwound.store(true);
+  });
+  // Give the send time to fill the buffers and wedge...
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // ...then kill the peer.  Unread data in the peer's receive queue makes
+  // close() send RST, which fails the blocked sendmsg immediately.
+  peer.close_abruptly();
+  sender.join();
+  EXPECT_TRUE(unwound.load());
+  EXPECT_TRUE(fab.aborted());
+}
+
+// Regression (satellite bugfix): control frames consume send_seq, but the
+// receiver used to validate seq only on DATA frames.  A data frame racing
+// in behind an ABORT broadcast then mismatched expect_seq, and the
+// receiver escalated the orderly drain into its own "frames lost" abort —
+// observable as an ABORT frame broadcast back at the already-aborting
+// peer.  Every frame is validated now, and the drain stays quiet.
+TEST(TcpFabricWire, DataFrameBehindAbortBroadcastIsOrderlyDrain) {
+  FakePeer peer;
+  TcpFabric fab(2, 1);
+  connect_fake_mesh(fab, peer);
+
+  // What a peer's send side emits when its abort broadcast races an
+  // in-flight send: DATA seq 0, ABORT seq 1, DATA seq 2.
+  const auto d0 = wire::data_frame_header(/*tag=*/7, /*seq=*/0, 3);
+  peer.send_bytes(d0.data(), d0.size());
+  peer.send_bytes("one", 3);
+  const auto ab = wire::control_frame_header(/*type=*/1, /*seq=*/1);
+  peer.send_bytes(ab.data(), ab.size());
+  const auto d2 = wire::data_frame_header(/*tag=*/7, /*seq=*/2, 3);
+  peer.send_bytes(d2.data(), d2.size());
+  peer.send_bytes("two", 3);
+
+  // The abort must land (the peer asked for it)...
+  for (int i = 0; i < 2000 && !fab.aborted(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fab.aborted());
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(fab.recv(1, 0, 7, buf), FabricAborted);
+  // ...blamed on the peer's deliberate abort, not on a wire failure...
+  const std::string detail = fab.abort_detail();
+  EXPECT_NE(detail.find("broadcast an abort"), std::string::npos) << detail;
+  // ...and the post-ABORT data frame is an orderly drain, so the fabric
+  // must NOT broadcast an abort of its own back at us.
+  EXPECT_FALSE(peer.readable_within(300));
+}
+
 // The receive path recycles payload vectors through the frame pool
 // instead of allocating per frame; steady-state traffic must show reuse.
 TEST(TcpFabricWire, ReceivePayloadsAreRecycled) {
@@ -922,6 +1047,214 @@ TEST(TcpFabricWire, ReceivePayloadsAreRecycled) {
   EXPECT_GT(b.recv_pool_reuses(), 0u);
   a.shutdown();
   b.shutdown();
+}
+
+// -- ShmFabric-specific: segment lifecycle and crash detection ---------------
+
+TEST(ShmSegmentTest, CreateValidatesGeometry) {
+  if (!ShmFabric::available()) GTEST_SKIP();
+  EXPECT_THROW(ShmSegment::create(0), std::invalid_argument);
+  EXPECT_THROW(ShmSegment::create(2, ShmSegmentOptions{.ring_slots = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ShmSegment::create(2, ShmSegmentOptions{.ring_slots = 4,
+                                              .slot_bytes = 100}),
+      std::invalid_argument);
+}
+
+TEST(ShmSegmentTest, AttachRejectsForeignFds) {
+  if (!ShmFabric::available()) GTEST_SKIP();
+  // A pipe is not a segment (and has no size at all).
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_THROW(ShmSegment::attach(fds[0]), std::invalid_argument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  // A right-shaped memfd full of zeros is not a segment either.
+  auto seg = ShmSegment::create(2);
+  const int blank =
+      static_cast<int>(::syscall(SYS_memfd_create, "fg-test-blank", 1u));
+  ASSERT_GE(blank, 0);
+  ASSERT_EQ(::ftruncate(blank, 1 << 16), 0);
+  EXPECT_THROW(ShmSegment::attach(blank), std::invalid_argument);
+  ::close(blank);
+}
+
+TEST(ShmSegmentTest, AttachByFdSharesTheSegment) {
+  if (!ShmFabric::available()) GTEST_SKIP();
+  // attach() maps the same pages again (the fgnode parent/child shape); a
+  // message sent through one mapping arrives through the other.
+  auto seg = ShmSegment::create(2);
+  auto seg2 = ShmSegment::attach(seg->fd());
+  EXPECT_EQ(seg2->nodes(), 2);
+  EXPECT_EQ(seg2->ring_slots(), seg->ring_slots());
+  ShmFabric a(seg, 0);
+  ShmFabric b(seg2, 1);
+  a.send(0, 1, 7, bytes_of("via mmap"));
+  std::vector<std::byte> buf(16);
+  EXPECT_EQ(string_of(buf, b.recv(1, 0, 7, buf).bytes), "via mmap");
+}
+
+TEST(ShmFabricTest, DuplicateRankAttachRejected) {
+  if (!ShmFabric::available()) GTEST_SKIP();
+  auto seg = ShmSegment::create(2);
+  ShmFabric a(seg, 0);
+  EXPECT_THROW(ShmFabric(seg, 0), std::invalid_argument);
+}
+
+TEST(ShmFabricTest, MessagesLargerThanASlotAreChunked) {
+  if (!ShmFabric::available()) GTEST_SKIP();
+  // 10000 bytes through 256-byte slots in a 4-slot ring: the sender must
+  // ride the ring-full backpressure while the receiver drains.
+  auto seg = ShmSegment::create(
+      2, ShmSegmentOptions{.ring_slots = 4, .slot_bytes = 256});
+  ShmFabric a(seg, 0);
+  ShmFabric b(seg, 1);
+  std::vector<std::byte> big(10'000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  std::thread sender([&] { a.send(0, 1, 3, big); });
+  std::vector<std::byte> buf(big.size());
+  const RecvResult r = b.recv(1, 0, 3, buf);
+  sender.join();
+  ASSERT_EQ(r.bytes, big.size());
+  EXPECT_EQ(std::memcmp(big.data(), buf.data(), big.size()), 0);
+}
+
+TEST(ShmFabricTest, ReceivePayloadsAreRecycled) {
+  if (!ShmFabric::available()) GTEST_SKIP();
+  auto seg = ShmSegment::create(2);
+  ShmFabric a(seg, 0);
+  ShmFabric b(seg, 1);
+  const std::vector<std::byte> payload(1024, std::byte{0x07});
+  std::vector<std::byte> buf(1024);
+  for (int i = 0; i < 8; ++i) {
+    a.send(0, 1, 5, payload);
+    const RecvResult r = b.recv(1, 0, 5, buf);
+    EXPECT_EQ(r.bytes, payload.size());
+  }
+  EXPECT_GT(b.recv_pool_reuses(), 0u);
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define FG_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FG_TEST_TSAN 1
+#endif
+#endif
+
+// A rank that dies without its bye flag freezes its heartbeat word; a
+// survivor must presume it dead and abort the run with a diagnostic.  The
+// dead rank is a real forked process that attaches through the inherited
+// fd and _exits without running destructors — which also exercises the
+// cross-process attach path end to end.
+TEST(ShmFabricTest, FrozenHeartbeatAbortsSurvivors) {
+#ifdef FG_TEST_TSAN
+  GTEST_SKIP() << "fork + child threads is unsupported under TSan";
+#else
+  if (!ShmFabric::available()) GTEST_SKIP();
+  auto seg = ShmSegment::create(2);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: rank 1 joins, beats briefly, dies silently (no shutdown, no
+    // bye — _exit skips every destructor).
+    try {
+      auto mine = ShmSegment::attach(seg->fd());
+      ShmFabric dead(mine, 1,
+                     ShmFabricOptions{
+                         .heartbeat_period = std::chrono::milliseconds(5),
+                         .heartbeat_timeout = std::chrono::seconds(30)});
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(2);
+    }
+  }
+  ShmFabric survivor(seg, 0,
+                     ShmFabricOptions{
+                         .heartbeat_period = std::chrono::milliseconds(5),
+                         .heartbeat_timeout = std::chrono::milliseconds(250)});
+  std::vector<std::byte> buf(4);
+  EXPECT_THROW(survivor.recv(0, 1, 1, buf), FabricAborted);
+  const std::string detail = survivor.abort_detail();
+  EXPECT_NE(detail.find("rank 1"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("heartbeat frozen"), std::string::npos) << detail;
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+#endif
+}
+
+// -- Mailbox: deposit cost and wildcard interleaving -------------------------
+
+// Regression (satellite bugfix): deposit used to rediscover the
+// non-overtaking floor by scanning the queue backwards for the last
+// message from the same source, so a source with nothing of its own
+// queued paid a full-queue scan per deposit — O(n^2) across n deposits.
+// The per-source floor map makes deposit O(1); this bound is generous
+// even under TSan, and minutes away from what the scan costs at this
+// depth.
+TEST(MailboxTest, DeepQueueDepositStaysCheap) {
+  Mailbox mb(0);
+  const util::TimePoint now = util::Clock::now();
+  util::Stopwatch sw;
+  // Worst case for the old scan: every deposit's source has no earlier
+  // message in the queue, so every scan walks the whole (growing) list.
+  constexpr int kMessages = 100'000;
+  for (int i = 0; i < kMessages; ++i) {
+    mb.deposit(/*src=*/i, /*tag=*/1, {}, now);
+  }
+  EXPECT_LT(sw.elapsed_seconds(), 10.0);
+}
+
+// Satellite: wildcard takes interleaved with deep queues.  A pile of
+// internal-tag traffic (invisible to kAnyTag) keeps the queue deep while
+// producers race a wildcard consumer; per-source FIFO must hold, the
+// wildcard must never surface an internal tag, and the internal traffic
+// must all still be there afterwards.
+TEST(MailboxTest, WildcardTakesInterleaveWithDeepQueues) {
+  Mailbox mb(0);
+  const util::TimePoint now = util::Clock::now();
+  constexpr int kNoise = 10'000;
+  for (int i = 0; i < kNoise; ++i) mb.deposit(9, -5, {}, now);
+
+  constexpr int kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 1'500;
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kProducers; ++s) {
+    producers.emplace_back([&mb, s] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        std::vector<std::byte> payload(8);
+        std::memcpy(payload.data(), &s, 4);
+        std::memcpy(payload.data() + 4, &i, 4);
+        mb.deposit(s, /*tag=*/1, std::move(payload), util::Clock::now());
+      }
+    });
+  }
+  std::vector<std::uint32_t> next_from(kProducers, 0);
+  std::vector<std::byte> buf(8);
+  for (std::uint32_t i = 0; i < kProducers * kPerProducer; ++i) {
+    const RecvResult r =
+        mb.take(kAnySource, kAnyTag, buf, std::chrono::seconds(60));
+    ASSERT_GE(r.tag, 0) << "wildcard surfaced internal traffic";
+    int s = -1;
+    std::uint32_t seq = 0;
+    std::memcpy(&s, buf.data(), 4);
+    std::memcpy(&seq, buf.data() + 4, 4);
+    ASSERT_EQ(s, r.source);
+    ASSERT_LT(s, kProducers);
+    ASSERT_EQ(seq, next_from[static_cast<std::size_t>(s)]++)
+        << "overtaking on channel " << s;
+  }
+  for (auto& t : producers) t.join();
+  // The internal traffic survives, delivered only when named explicitly.
+  for (int i = 0; i < kNoise; ++i) {
+    ASSERT_EQ(mb.take(9, -5, buf, std::chrono::seconds(10)).tag, -5);
+  }
 }
 
 // -- SimFabric-specific: the latency model ----------------------------------

@@ -1,0 +1,190 @@
+// End-to-end dsort over the shared-memory fabric: four ShmFabric ranks
+// attached to one segment, each driven by a ShmCluster in its own thread
+// — the same wiring a real fgnode-forked run has, minus fork.  Each
+// "rank" holds its own Workspace handle onto one shared directory tree
+// and generates only its own input stripe, exactly like
+// `fgsort --fabric shm`.  The output must be byte-identical to a
+// single-process SimFabric run on the same seeded dataset (and, by the
+// tcp_dsort_test, transitively to the TCP mesh).
+#include "comm/cluster.hpp"
+#include "sort/dataset.hpp"
+#include "sort/dsort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace fg::sort {
+namespace {
+
+SortConfig shm_config() {
+  SortConfig cfg;
+  cfg.nodes = 4;
+  cfg.records = 8000;
+  cfg.record_bytes = 16;
+  cfg.block_records = 64;
+  cfg.buffer_records = 256;
+  cfg.num_buffers = 3;
+  cfg.merge_buffer_records = 64;
+  cfg.merge_num_buffers = 2;
+  cfg.out_buffer_records = 256;
+  cfg.oversample = 32;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<char> slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << p;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+TEST(ShmDsort, FourRanksMatchSimByteForByte) {
+  if (!comm::ShmFabric::available()) {
+    GTEST_SKIP() << "shared-memory segments unavailable (FG_NO_SHM set?)";
+  }
+  const SortConfig cfg = shm_config();
+  const int p = cfg.nodes;
+
+  // --- reference: single-process SimFabric run --------------------------
+  const auto sim_root =
+      std::filesystem::temp_directory_path() / "fg_shm_dsort_sim";
+  std::filesystem::remove_all(sim_root);
+  {
+    pdm::Workspace ws(sim_root, p, util::LatencyModel::free());
+    ws.keep();
+    comm::SimCluster cluster(p);
+    generate_input(ws, cfg);
+    run_dsort(cluster, ws, cfg);
+    ASSERT_TRUE(verify_output(ws, cfg).ok());
+  }
+
+  // --- system under test: four ranks on one shared segment --------------
+  const auto shm_root =
+      std::filesystem::temp_directory_path() / "fg_shm_dsort_shm";
+  std::filesystem::remove_all(shm_root);
+
+  // Small slots force chunking on the sample/merge traffic, so the test
+  // exercises the reassembly path, not just single-slot sends.
+  const auto seg = comm::ShmSegment::create(
+      p, comm::ShmSegmentOptions{.ring_slots = 8, .slot_bytes = 1024});
+  std::vector<std::unique_ptr<comm::ShmFabric>> fabrics;
+  for (int r = 0; r < p; ++r) {
+    fabrics.push_back(std::make_unique<comm::ShmFabric>(seg, r));
+  }
+
+  // One rank per thread, like one rank per process: each gets its own
+  // Workspace handle on the shared root and generates only its stripe.
+  // Generous deadline so a deadlock fails the test instead of hanging it.
+  std::vector<std::thread> ranks;
+  std::vector<std::string> errors(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        comm::ShmFabric& f = *fabrics[static_cast<std::size_t>(r)];
+        f.set_recv_deadline(std::chrono::seconds(120));
+        pdm::Workspace ws(shm_root, p, util::LatencyModel::free());
+        ws.keep();
+        generate_node_input(ws, cfg, r);
+        comm::ShmCluster cluster(f);
+        run_dsort(cluster, ws, cfg);
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = e.what();
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(errors[static_cast<std::size_t>(r)].empty())
+        << "rank " << r << ": " << errors[static_cast<std::size_t>(r)];
+  }
+
+  // Rank 0's-eye verification of the combined output...
+  {
+    pdm::Workspace ws(shm_root, p, util::LatencyModel::free());
+    ws.keep();
+    const VerifyResult v = verify_output(ws, cfg);
+    EXPECT_TRUE(v.sorted);
+    EXPECT_TRUE(v.permutation);
+    EXPECT_EQ(v.records, cfg.records);
+  }
+  // ...and the acceptance bar: byte-identical stripes vs the sim run.
+  for (int n = 0; n < p; ++n) {
+    const auto rel = "node" + std::to_string(n);
+    const auto sim_bytes = slurp(sim_root / rel / cfg.output_name);
+    const auto shm_bytes = slurp(shm_root / rel / cfg.output_name);
+    EXPECT_FALSE(sim_bytes.empty()) << rel;
+    EXPECT_EQ(sim_bytes, shm_bytes) << "stripe " << rel << " differs";
+  }
+
+  for (auto& f : fabrics) f->shutdown();
+  std::filesystem::remove_all(sim_root);
+  std::filesystem::remove_all(shm_root);
+}
+
+// A rank that dies mid-sort must take the whole mesh down as
+// FabricAborted everywhere (via the segment abort word), not leave the
+// other ranks parked in recv or blocked on a full ring.
+TEST(ShmDsort, DeadRankAbortsTheMesh) {
+  if (!comm::ShmFabric::available()) {
+    GTEST_SKIP() << "shared-memory segments unavailable (FG_NO_SHM set?)";
+  }
+  const SortConfig cfg = shm_config();
+  const int p = cfg.nodes;
+  const auto root =
+      std::filesystem::temp_directory_path() / "fg_shm_dsort_abort";
+  std::filesystem::remove_all(root);
+
+  const auto seg = comm::ShmSegment::create(
+      p, comm::ShmSegmentOptions{.ring_slots = 8, .slot_bytes = 1024});
+  std::vector<std::unique_ptr<comm::ShmFabric>> fabrics;
+  for (int r = 0; r < p; ++r) {
+    fabrics.push_back(std::make_unique<comm::ShmFabric>(seg, r));
+  }
+
+  std::vector<std::thread> ranks;
+  // vector<char>, not vector<bool>: ranks write concurrently and the
+  // bit-packed specialization would race on the shared word.
+  std::vector<char> aborted(static_cast<std::size_t>(p), 0);
+  for (int r = 0; r < p; ++r) {
+    ranks.emplace_back([&, r] {
+      comm::ShmFabric& f = *fabrics[static_cast<std::size_t>(r)];
+      f.set_recv_deadline(std::chrono::seconds(120));
+      pdm::Workspace ws(root, p, util::LatencyModel::free());
+      ws.keep();
+      generate_node_input(ws, cfg, r);
+      if (r == 2) {
+        // "Crash": raise the segment abort word the way a failing node
+        // program would; the monitors relay it to every other rank.
+        f.abort();
+        aborted[static_cast<std::size_t>(r)] = true;
+        return;
+      }
+      try {
+        comm::ShmCluster cluster(f);
+        run_dsort(cluster, ws, cfg);
+      } catch (const comm::FabricAborted&) {
+        aborted[static_cast<std::size_t>(r)] = true;
+      } catch (const std::exception&) {
+        // A pipeline-level unwind triggered by the abort is acceptable
+        // too; the point is we got out.
+        aborted[static_cast<std::size_t>(r)] = true;
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(aborted[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+  for (auto& f : fabrics) f->shutdown();
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace fg::sort

@@ -1,24 +1,30 @@
-// fgnode — process launcher for multi-process (TCP fabric) cluster runs.
+// fgnode — process launcher for multi-process (tcp or shm fabric)
+// cluster runs.
 //
 // Forks one child per rank, each running the given command with `{rank}`
 // tokens substituted and the fabric wiring appended:
 //
-//   fgnode --nodes 4 [--base-port P] [--host H] [--timeout-secs N] --
+//   fgnode --nodes 4 [--fabric tcp|shm] [--base-port P] [--host H]
+//       [--timeout-secs N] --
 //       build/tools/fgsort --program dsort --keep /tmp/ws
 //       --stats-json stats.{rank}.json
 //
-// becomes, for rank r of 4:
+// becomes, for rank r of 4 under tcp:
 //
 //   build/tools/fgsort --program dsort --keep /tmp/ws
 //       --stats-json stats.r.json
 //       --fabric tcp --rank r --peers H:P,H:P+1,H:P+2,H:P+3
 //
-// All children share one loopback (or given-host) port block.  fgnode
-// waits for every child; if any exits nonzero, or the --timeout-secs
-// budget expires, the rest are killed and fgnode exits nonzero.  This is
-// the driver both the CI gate and the multi-process tests go through —
-// it is deliberately dumb: no restart, no rank placement, just fork,
-// watch, reap.
+// Under --fabric shm, fgnode provisions one shared-memory segment before
+// forking and every child inherits its fd (`--fabric shm --rank r
+// --shm-fd FD` is appended instead); when segments are unavailable on
+// the host (or FG_NO_SHM is set) fgnode warns and falls back to tcp.
+// fgnode waits for every child; if any exits nonzero, or the
+// --timeout-secs budget expires, the rest are killed and fgnode exits
+// nonzero.  This is the driver both the CI gates and the multi-process
+// tests go through — it is deliberately dumb: no restart, no rank
+// placement, just fork, watch, reap.
+#include "comm/shm_fabric.hpp"
 #include "util/parse.hpp"
 
 #include <sys/types.h>
@@ -30,10 +36,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace {
@@ -57,12 +65,16 @@ void install_signal_handlers() {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: fgnode --nodes N [--base-port P] [--host H]\n"
-               "              [--timeout-secs N] -- command [args...]\n"
+               "usage: fgnode --nodes N [--fabric tcp|shm] [--base-port P]\n"
+               "              [--host H] [--timeout-secs N] -- "
+               "command [args...]\n"
                "  '{rank}' in command args is replaced by the child's "
                "rank;\n"
-               "  '--fabric tcp --rank R --peers ...' is appended "
-               "automatically.\n");
+               "  '--fabric tcp --rank R --peers ...' (or '--fabric shm "
+               "--rank R\n"
+               "  --shm-fd FD' for a segment fgnode provisions) is "
+               "appended\n"
+               "  automatically.\n");
   std::exit(2);
 }
 
@@ -85,6 +97,7 @@ int main(int argc, char** argv) {
   int base_port = 37600;
   int timeout_secs = 600;
   std::string host = "127.0.0.1";
+  std::string fabric = "tcp";
   int cmd_start = -1;
   // Checked parsing: garbage like "--nodes banana" exits with the flag
   // named, rather than atoi silently folding it to 0.
@@ -98,6 +111,10 @@ int main(int argc, char** argv) {
       if (a == "--nodes") nodes = static_cast<int>(fg::util::parse_int(need(i), "--nodes", 1, 512));
       else if (a == "--base-port") base_port = static_cast<int>(fg::util::parse_int(need(i), "--base-port", 1, 65535));
       else if (a == "--host") host = need(i);
+      else if (a == "--fabric") {
+        fabric = need(i);
+        if (fabric != "tcp" && fabric != "shm") usage();
+      }
       else if (a == "--timeout-secs") timeout_secs = static_cast<int>(fg::util::parse_int(need(i), "--timeout-secs", 1, 86400));
       else if (a == "--") { cmd_start = i + 1; break; }
       else usage();
@@ -111,6 +128,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fgnode: port block %d..%d out of range\n",
                  base_port, base_port + nodes - 1);
     return 2;
+  }
+
+  // shm needs working memfd segments; fall back to tcp (with a warning)
+  // where they are unavailable or FG_NO_SHM disables them, so a script
+  // written for shm still completes.
+  if (fabric == "shm" && !fg::comm::ShmSegment::available()) {
+    std::fprintf(stderr,
+                 "fgnode: shared-memory segments unavailable on this "
+                 "system; using the tcp fabric instead\n");
+    fabric = "tcp";
+  }
+
+  // Provision the segment before forking: every child inherits the fd.
+  // Clear FD_CLOEXEC so it survives the execvp below.
+  std::shared_ptr<fg::comm::ShmSegment> segment;
+  if (fabric == "shm") {
+    try {
+      segment = fg::comm::ShmSegment::create(nodes);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fgnode: cannot create shm segment: %s\n",
+                   e.what());
+      return 1;
+    }
+    const int flags = ::fcntl(segment->fd(), F_GETFD);
+    if (flags < 0 ||
+        ::fcntl(segment->fd(), F_SETFD, flags & ~FD_CLOEXEC) < 0) {
+      std::perror("fgnode: fcntl(segment fd)");
+      return 1;
+    }
   }
 
   std::string peers;
@@ -130,11 +176,16 @@ int main(int argc, char** argv) {
       args.push_back(substitute_rank(argv[i], r));
     }
     args.push_back("--fabric");
-    args.push_back("tcp");
+    args.push_back(fabric);
     args.push_back("--rank");
     args.push_back(std::to_string(r));
-    args.push_back("--peers");
-    args.push_back(peers);
+    if (fabric == "shm") {
+      args.push_back("--shm-fd");
+      args.push_back(std::to_string(segment->fd()));
+    } else {
+      args.push_back("--peers");
+      args.push_back(peers);
+    }
     std::vector<char*> cargs;
     cargs.reserve(args.size() + 1);
     for (auto& s : args) cargs.push_back(s.data());

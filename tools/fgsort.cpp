@@ -59,22 +59,28 @@
 //     --direct                          (open files with O_DIRECT;
 //                                        native/uring backends only)
 //
-// Multi-process mode (one OS process per cluster node, real sockets):
-//     --fabric sim|tcp                  (default: sim)
+// Multi-process mode (one OS process per cluster node):
+//     --fabric sim|tcp|shm              (default: sim)
 //     --rank R                          (this process's node id)
-//     --peers host:port,host:port,...   (every rank's listen endpoint, in
-//                                        rank order; the node count is the
-//                                        number of peers)
+//     --peers host:port,host:port,...   (tcp: every rank's listen endpoint,
+//                                        in rank order; the node count is
+//                                        the number of peers)
+//     --shm-fd FD                       (shm: inherited fd of the shared
+//                                        segment fgnode created; the node
+//                                        count comes from the segment
+//                                        header)
 //     --recv-timeout-ms N               (per-receive deadline; 0 = block
 //                                        forever.  Default 120000 under
-//                                        --fabric tcp so a dead peer fails
-//                                        the run instead of hanging it)
-// TCP mode requires --keep DIR (a filesystem root shared by all ranks),
-// a single --program, and one fgsort process per peer — see tools/fgnode,
-// which launches and supervises the whole set.  Each rank generates only
+//                                        --fabric tcp/shm so a dead peer
+//                                        fails the run instead of hanging
+//                                        it)
+// tcp/shm mode requires --keep DIR (a filesystem root shared by all
+// ranks), a single --program, and one fgsort process per rank — see
+// tools/fgnode, which launches and supervises the whole set (and, for
+// shm, provisions the segment before forking).  Each rank generates only
 // its own input stripe; rank 0 verifies the combined output after the
 // final barrier, other ranks report "skip".  --latency only shapes disk
-// charging in TCP mode: the network is real, not simulated.
+// charging in tcp/shm mode: the transport is real, not simulated.
 #include "comm/cluster.hpp"
 #include "core/events.hpp"
 #include "obs/chrome_trace.hpp"
@@ -116,7 +122,10 @@ struct Options {
   std::string fabric{"sim"};
   int rank{0};
   std::vector<comm::TcpEndpoint> peers;
-  int recv_timeout_ms{-1};  // -1 = unset (0 for sim, 120000 for tcp)
+  /// shm mode: the inherited segment fd, attached during parse() so the
+  /// node count is known before any geometry is derived.
+  std::shared_ptr<comm::ShmSegment> shm_seg;
+  int recv_timeout_ms{-1};  // -1 = unset (0 for sim, else 120000)
   pdm::DiskBackend disk{pdm::DiskBackend::kStdio};
   bool direct{false};
 };
@@ -129,8 +138,9 @@ struct Options {
                "          [--stats] [--stats-json FILE] [--keep DIR]\n"
                "          [--fault-spec SPEC] [--watchdog-ms N]\n"
                "          [--trace-out FILE] [--progress SECS]\n"
-               "          [--fabric sim|tcp] [--rank R]\n"
-               "          [--peers host:port,...] [--recv-timeout-ms N]\n"
+               "          [--fabric sim|tcp|shm] [--rank R]\n"
+               "          [--peers host:port,...] [--shm-fd FD]\n"
+               "          [--recv-timeout-ms N]\n"
                "          [--executor threads|tasks] [--workers N]\n"
                "          [--channels auto|mpmc]\n"
                "          [--disk stdio|native|uring] [--direct]\n",
@@ -152,6 +162,7 @@ sort::Distribution parse_dist(const std::string& s) {
 
 Options parse(int argc, char** argv) try {
   Options opt;
+  int shm_fd = -1;
   opt.cfg.nodes = 16;
   opt.cfg.records = 1 << 20;
   opt.cfg.oversample = 128;
@@ -224,6 +235,7 @@ Options parse(int argc, char** argv) try {
         pos = comma + 1;
       }
     }
+    else if (a == "--shm-fd") shm_fd = static_cast<int>(util::parse_int(need(i), "--shm-fd", 0, INT32_MAX));
     else if (a == "--recv-timeout-ms") opt.recv_timeout_ms = static_cast<int>(util::parse_int(need(i), "--recv-timeout-ms", 0, INT32_MAX));
     else usage(argv[0]);
   }
@@ -244,7 +256,9 @@ Options parse(int argc, char** argv) try {
       opt.program != "ssort" && opt.program != "all") {
     usage(argv[0]);
   }
-  if (opt.fabric != "sim" && opt.fabric != "tcp") usage(argv[0]);
+  if (opt.fabric != "sim" && opt.fabric != "tcp" && opt.fabric != "shm") {
+    usage(argv[0]);
+  }
   if (opt.fabric == "tcp") {
     if (opt.peers.empty()) {
       std::fprintf(stderr, "fgsort: --fabric tcp requires --peers\n");
@@ -255,23 +269,50 @@ Options parse(int argc, char** argv) try {
                    opt.rank, opt.peers.size());
       std::exit(2);
     }
+    // The node count is the peer count; --nodes is implied.
+    opt.cfg.nodes = static_cast<int>(opt.peers.size());
+  }
+  if (opt.fabric == "shm") {
+    if (shm_fd < 0) {
+      std::fprintf(stderr,
+                   "fgsort: --fabric shm requires --shm-fd (the segment fd "
+                   "inherited from fgnode)\n");
+      std::exit(2);
+    }
+    try {
+      opt.shm_seg = comm::ShmSegment::attach(shm_fd);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fgsort: cannot attach shm segment fd %d: %s\n",
+                   shm_fd, e.what());
+      std::exit(2);
+    }
+    // The node count is the segment's; --nodes is implied.
+    opt.cfg.nodes = opt.shm_seg->nodes();
+    if (opt.rank < 0 || opt.rank >= opt.cfg.nodes) {
+      std::fprintf(stderr, "fgsort: --rank %d out of range for a %d-rank "
+                   "segment\n",
+                   opt.rank, opt.cfg.nodes);
+      std::exit(2);
+    }
+  }
+  if (opt.fabric != "sim") {
     if (opt.program == "all") {
       std::fprintf(stderr,
-                   "fgsort: --fabric tcp runs a single --program per "
-                   "process set\n");
+                   "fgsort: --fabric %s runs a single --program per "
+                   "process set\n",
+                   opt.fabric.c_str());
       std::exit(2);
     }
     if (!opt.keep_dir) {
       std::fprintf(stderr,
-                   "fgsort: --fabric tcp requires --keep DIR (a workspace "
-                   "root shared by all ranks)\n");
+                   "fgsort: --fabric %s requires --keep DIR (a workspace "
+                   "root shared by all ranks)\n",
+                   opt.fabric.c_str());
       std::exit(2);
     }
-    // The node count is the peer count; --nodes is implied.
-    opt.cfg.nodes = static_cast<int>(opt.peers.size());
   }
   if (opt.recv_timeout_ms < 0) {
-    opt.recv_timeout_ms = opt.fabric == "tcp" ? 120000 : 0;
+    opt.recv_timeout_ms = opt.fabric != "sim" ? 120000 : 0;
   }
   // Buffer geometry: 64 KiB blocks, 256 KiB pipeline buffers.
   opt.cfg.block_records = (4096 * 16) / opt.cfg.record_bytes;
@@ -380,7 +421,9 @@ RunReport run_one(const std::string& program, const Options& opt) {
   sort::SortConfig cfg = opt.cfg;
   cfg.compute_model = lat.compute;
 
-  const bool tcp = opt.fabric == "tcp";
+  // sim: the whole cluster in this process.  tcp/shm: this process IS
+  // one rank of a multi-process cluster.
+  const bool multi = opt.fabric != "sim";
   fault::Injector injector(cfg.seed);
   auto ws = opt.keep_dir
                 ? std::make_unique<pdm::Workspace>(
@@ -391,15 +434,19 @@ RunReport run_one(const std::string& program, const Options& opt) {
   if (opt.keep_dir) ws->keep();
   if (opt.seek_aware) ws->set_seek_aware(true);
 
-  // sim: the whole cluster in this process, one thread per node.
-  // tcp: this process IS one node; connect the socket mesh first.
+  // tcp connects the socket mesh; shm attaches the inherited segment —
+  // there the segment IS the mesh, so there is no connect step.
   std::unique_ptr<comm::TcpFabric> tcp_fabric;
+  std::unique_ptr<comm::ShmFabric> shm_fabric;
   std::unique_ptr<comm::Cluster> cluster;
-  if (tcp) {
+  if (opt.fabric == "tcp") {
     tcp_fabric = std::make_unique<comm::TcpFabric>(
         cfg.nodes, opt.rank, opt.peers[static_cast<std::size_t>(opt.rank)].port);
     tcp_fabric->connect(opt.peers);
     cluster = std::make_unique<comm::TcpCluster>(*tcp_fabric);
+  } else if (opt.fabric == "shm") {
+    shm_fabric = std::make_unique<comm::ShmFabric>(opt.shm_seg, opt.rank);
+    cluster = std::make_unique<comm::ShmCluster>(*shm_fabric);
   } else {
     cluster = std::make_unique<comm::SimCluster>(cfg.nodes, lat.net);
   }
@@ -410,10 +457,10 @@ RunReport run_one(const std::string& program, const Options& opt) {
 
   // Generate the input on a healthy substrate; faults arm afterwards so
   // the run under test is the sort itself, not dataset creation.  Each
-  // TCP rank writes only its own stripe — generation is deterministic in
-  // (seed, dist, global index), so the union across ranks is identical to
-  // a single-process generate_input().
-  if (tcp) {
+  // tcp/shm rank writes only its own stripe — generation is deterministic
+  // in (seed, dist, global index), so the union across ranks is identical
+  // to a single-process generate_input().
+  if (multi) {
     sort::generate_node_input(*ws, cfg, opt.rank);
   } else {
     sort::generate_input(*ws, cfg);
@@ -491,7 +538,7 @@ RunReport run_one(const std::string& program, const Options& opt) {
     ws->set_fault_injector(nullptr);
     cluster->fabric().set_fault_injector(nullptr);
   }
-  if (tcp && opt.rank != 0) {
+  if (multi && opt.rank != 0) {
     // Only rank 0 sees every stripe of the shared workspace root; the
     // trailing barrier inside run() already guarantees our output is
     // complete before rank 0 starts reading it.
@@ -505,6 +552,7 @@ RunReport run_one(const std::string& program, const Options& opt) {
     report.bytes_sent += report.traffic.back().bytes_sent;
   }
   if (tcp_fabric) tcp_fabric->shutdown();  // orderly BYE before exit
+  if (shm_fabric) shm_fabric->shutdown();  // orderly bye flag before exit
   return report;
 }
 
@@ -534,7 +582,7 @@ std::string stats_json_blob(const Options& opt,
   w.kv("seed", static_cast<std::uint64_t>(opt.cfg.seed));
   w.kv("latency", opt.paper_latency ? "paper" : "none");
   w.kv("fabric", opt.fabric);
-  w.kv("rank", opt.fabric == "tcp" ? opt.rank : -1);
+  w.kv("rank", opt.fabric != "sim" ? opt.rank : -1);
   w.kv("seek_aware", opt.seek_aware);
   w.kv("disk", std::string(pdm::to_string(opt.disk)));
   w.kv("direct", opt.direct);
@@ -616,12 +664,13 @@ int main(int argc, char** argv) {
       opt.disk != pdm::DiskBackend::kStdio
           ? "none (hardware-speed disk)"
           : (opt.paper_latency ? "paper" : "none");
-  if (opt.fabric == "tcp") {
+  if (opt.fabric != "sim") {
     std::printf("fgsort: %llu x %u-byte records (%s), rank %d of %d over "
-                "tcp, disk=%s%s latency=%s%s\n",
+                "%s, disk=%s%s latency=%s%s\n",
                 static_cast<unsigned long long>(opt.cfg.records),
                 opt.cfg.record_bytes, sort::to_string(opt.cfg.dist).c_str(),
-                opt.rank, opt.cfg.nodes, pdm::to_string(opt.disk),
+                opt.rank, opt.cfg.nodes, opt.fabric.c_str(),
+                pdm::to_string(opt.disk),
                 opt.direct ? "(direct)" : "", latency_label,
                 opt.seek_aware ? ", seek-aware" : "");
   } else {
